@@ -1,0 +1,297 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus the ablations DESIGN.md calls out and kernel micro-benchmarks backing
+// the simulation-speed comparison.
+//
+// Paper artefacts:
+//   - Table 1  → BenchmarkTable1RuleEval (policy evaluation over the full
+//     input space; the table itself prints via cmd/dpmtable)
+//   - Fig. 1   → BenchmarkFigure1Topology (SoC assembly of the architecture)
+//   - Table 2  → BenchmarkTable2/{A1,A2,A3,A4,B,C} — each iteration runs the
+//     DPM scenario and its always-on baseline and reports the three Table 2
+//     columns as custom metrics (energy_saving_%, temp_reduction_%,
+//     delay_overhead_%)
+//   - simulation speed (35 Kcycle/s sim A, 7.5 Kcycle/s sim B/C on the
+//     paper's 2005 host) → BenchmarkSimSpeed/{A,BC} reporting Kcycle/s
+package godpm_test
+
+import (
+	"testing"
+
+	"godpm/internal/battery"
+	"godpm/internal/experiments"
+	"godpm/internal/rules"
+	"godpm/internal/sim"
+	"godpm/internal/soc"
+	"godpm/internal/task"
+	"godpm/internal/thermal"
+)
+
+// benchTuning keeps a full scenario pair around a second of wall time.
+func benchTuning() experiments.Tuning {
+	t := experiments.DefaultTuning()
+	t.NumTasks = 60
+	return t
+}
+
+// BenchmarkTable1RuleEval measures the LEM policy evaluation (Table 1) over
+// the complete quantised input space.
+func BenchmarkTable1RuleEval(b *testing.B) {
+	tbl := rules.Table1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for p := task.Priority(0); int(p) < task.NumPriorities; p++ {
+			for bt := battery.Status(0); int(bt) < battery.NumStatuses; bt++ {
+				for tc := thermal.Class(0); int(tc) < thermal.NumClasses; tc++ {
+					if _, _, ok := tbl.Select(p, bt, tc); !ok {
+						b.Fatal("table not total")
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1Topology measures assembling the Fig. 1 architecture (the
+// four-IP GEM variant) and rendering its component graph.
+func BenchmarkFigure1Topology(b *testing.B) {
+	t := benchTuning()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiments.B(t)
+		if out := experiments.Topology(s); len(out) == 0 {
+			b.Fatal("empty topology")
+		}
+	}
+}
+
+// runScenarioBench runs one Table 2 row per iteration and reports the
+// paper's three columns as metrics.
+func runScenarioBench(b *testing.B, id string) {
+	b.Helper()
+	t := benchTuning()
+	s, err := experiments.ByID(id, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var row experiments.Row
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.RunScenario(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.EnergySavingPct, "energy_saving_%")
+	b.ReportMetric(row.TempReductionPct, "temp_reduction_%")
+	b.ReportMetric(row.DelayOverheadPct, "delay_overhead_%")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "B", "C"} {
+		b.Run(id, func(b *testing.B) { runScenarioBench(b, id) })
+	}
+}
+
+// BenchmarkSimSpeed reports the kernel's simulated-cycles-per-wall-second
+// throughput in the paper's unit (Kcycle/s), for the single-IP (sim A) and
+// the four-IP GEM (sim B/C) configurations.
+func BenchmarkSimSpeed(b *testing.B) {
+	bench := func(b *testing.B, s experiments.Scenario) {
+		var kcps float64
+		for i := 0; i < b.N; i++ {
+			res, err := soc.Run(s.Config)
+			if err != nil {
+				b.Fatal(err)
+			}
+			kcps = res.KCyclesPerSec()
+		}
+		b.ReportMetric(kcps, "Kcycle/s")
+	}
+	b.Run("A", func(b *testing.B) { bench(b, experiments.A1(benchTuning())) })
+	b.Run("BC", func(b *testing.B) { bench(b, experiments.B(benchTuning())) })
+}
+
+// ---- Ablations (design choices called out in DESIGN.md) ----
+
+// reportRun reports a run's headline numbers as metrics.
+func reportRun(b *testing.B, res *soc.Result) {
+	b.Helper()
+	b.ReportMetric(res.EnergyJ*1000, "energy_mJ")
+	b.ReportMetric(res.Duration.Seconds()*1000, "sim_ms")
+	b.ReportMetric(res.AvgTempC, "avg_temp_C")
+}
+
+// BenchmarkAblationPredictor compares the idle-time predictors feeding the
+// LEM's break-even sleep selection.
+func BenchmarkAblationPredictor(b *testing.B) {
+	for _, kind := range []soc.PredictorKind{
+		soc.PredictorEWMA, soc.PredictorLast, soc.PredictorPerfect,
+		soc.PredictorAdaptive, soc.PredictorQuantile,
+	} {
+		b.Run(string(kind), func(b *testing.B) {
+			s := experiments.A1(benchTuning())
+			s.Config.LEM.Predictor = kind
+			var res *soc.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = soc.Run(s.Config); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRun(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationBreakEven compares break-even-gated sleeping against
+// always-deepest-sleep.
+func BenchmarkAblationBreakEven(b *testing.B) {
+	for _, gated := range []bool{true, false} {
+		name := "gated"
+		if !gated {
+			name = "ungated"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := experiments.A1(benchTuning())
+			s.Config.LEM.DisableBreakEven = !gated
+			var res *soc.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = soc.Run(s.Config); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRun(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationBattery compares the KiBaM battery (with its recovery
+// effect, which drives scenario B's GEM dynamics) against the linear model.
+// It needs the full 120-task runs: shorter ones never push the sensed
+// charge across the Low/Medium boundary, making the models look identical.
+func BenchmarkAblationBattery(b *testing.B) {
+	t := experiments.DefaultTuning()
+	configs := map[string]soc.BatteryConfig{
+		"kibam": experiments.B(t).Config.Battery,
+		"linear": {
+			Kind: "linear", CapacityJ: 500, InitialSoC: 0.303,
+		},
+	}
+	for name, batt := range configs {
+		b.Run(name, func(b *testing.B) {
+			s := experiments.B(t)
+			s.Config.Battery = batt
+			var res *soc.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = soc.Run(s.Config); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRun(b, res)
+			b.ReportMetric(res.FinalSoC, "final_soc")
+		})
+	}
+}
+
+// BenchmarkAblationGEM compares the four-IP scenario with and without the
+// global manager.
+func BenchmarkAblationGEM(b *testing.B) {
+	for _, withGEM := range []bool{true, false} {
+		name := "with"
+		if !withGEM {
+			name = "without"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := experiments.B(experiments.DefaultTuning())
+			s.Config.UseGEM = withGEM
+			var res *soc.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = soc.Run(s.Config); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRun(b, res)
+		})
+	}
+}
+
+// ---- Kernel micro-benchmarks ----
+
+// BenchmarkKernelTimedEvents measures raw timed-event throughput.
+func BenchmarkKernelTimedEvents(b *testing.B) {
+	k := sim.NewKernel()
+	e := k.NewEvent("tick")
+	n := 0
+	k.Method("m", func() {
+		n++
+		e.Notify(10 * sim.Ns)
+	}).Sensitive(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(sim.Time(b.N) * 10 * sim.Ns); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelSignalDelta measures signal write/update/notify cycles.
+func BenchmarkKernelSignalDelta(b *testing.B) {
+	k := sim.NewKernel()
+	s := sim.NewSignal(k, "s", 0)
+	e := k.NewEvent("tick")
+	i := 0
+	k.Method("w", func() {
+		i++
+		s.Write(i)
+		e.Notify(1 * sim.Ns)
+	}).Sensitive(e)
+	reads := 0
+	k.Method("r", func() { reads++ }).Sensitive(s.Changed()).DontInitialize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(sim.Time(b.N) * sim.Ns); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelThreadSwitch measures thread suspend/resume round trips.
+func BenchmarkKernelThreadSwitch(b *testing.B) {
+	k := sim.NewKernel()
+	k.Thread("t", func(c *sim.Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.WaitTime(1 * sim.Ns)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+	k.Shutdown()
+}
+
+// BenchmarkKernelFifo measures producer/consumer handoffs through a FIFO.
+func BenchmarkKernelFifo(b *testing.B) {
+	k := sim.NewKernel()
+	// The whole handoff runs in delta cycles at t=0; that's the point of
+	// the benchmark, so lift the livelock guard.
+	k.MaxDeltasPerInstant = 1 << 60
+	f := sim.NewFifo[int](k, "f", 16)
+	k.Thread("prod", func(c *sim.Ctx) {
+		for i := 0; i < b.N; i++ {
+			f.Put(c, i)
+		}
+	})
+	k.Thread("cons", func(c *sim.Ctx) {
+		for i := 0; i < b.N; i++ {
+			f.Get(c)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+	k.Shutdown()
+}

@@ -1,0 +1,70 @@
+// Command dpmreport runs the full Table 2 reproduction and writes a
+// Markdown report (comparison table, shape checks, per-scenario details) —
+// the mechanical regeneration of EXPERIMENTS.md's measured content.
+//
+// Usage:
+//
+//	dpmreport [-tasks N] [-seed N] [-o report.md] [-details]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"godpm/internal/core"
+	"godpm/internal/experiments"
+	"godpm/internal/report"
+)
+
+func main() {
+	var (
+		tasks   = flag.Int("tasks", 0, "tasks per IP (0 = default tuning)")
+		seed    = flag.Int64("seed", 0, "workload seed (0 = default tuning)")
+		out     = flag.String("o", "", "output path (default stdout)")
+		details = flag.Bool("details", true, "include per-scenario details")
+	)
+	flag.Parse()
+
+	tuning := core.DefaultTuning()
+	if *tasks > 0 {
+		tuning.NumTasks = *tasks
+	}
+	if *seed != 0 {
+		tuning.Seed = *seed
+	}
+
+	var rows []experiments.Row
+	for _, s := range core.Scenarios(tuning) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", s.ID)
+		row, err := core.RunScenario(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	opt := report.Options{
+		Title:   "godpm — Table 2 reproduction (Conti, DATE 2005)",
+		Details: *details,
+	}
+	if err := report.Write(w, rows, opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !report.AllPass(report.ShapeChecks(rows)) {
+		fmt.Fprintln(os.Stderr, "WARNING: some shape checks failed")
+		os.Exit(3)
+	}
+}

@@ -1,0 +1,104 @@
+// Command dpmsim reproduces the paper's evaluation: it runs the Table 2
+// scenarios (A1–A4, B, C) against their always-on baselines and prints the
+// measured energy saving, temperature reduction and delay overhead next to
+// the paper's numbers. It can also print the instantiated Fig. 1 topology
+// of each scenario.
+//
+// Usage:
+//
+//	dpmsim [-run all|A1|A2|A3|A4|B|C] [-tasks N] [-seed N] [-topology] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"godpm/internal/core"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "scenario to run: all, A1..A4, B, C")
+		tasks    = flag.Int("tasks", 0, "tasks per IP (0 = default tuning)")
+		seed     = flag.Int64("seed", 0, "workload seed (0 = default tuning)")
+		topology = flag.Bool("topology", false, "print the Fig. 1 component graph instead of simulating")
+		ext      = flag.Bool("ext", false, "also run the extension scenarios (per-IP thermal, open-loop, regulator)")
+		verbose  = flag.Bool("v", false, "print per-run details")
+	)
+	flag.Parse()
+
+	tuning := core.DefaultTuning()
+	if *tasks > 0 {
+		tuning.NumTasks = *tasks
+	}
+	if *seed != 0 {
+		tuning.Seed = *seed
+	}
+
+	var scenarios []core.Scenario
+	if strings.EqualFold(*run, "all") {
+		scenarios = core.Scenarios(tuning)
+		if *ext {
+			scenarios = append(scenarios, core.Extensions(tuning)...)
+		}
+	} else {
+		s, err := core.ScenarioByID(strings.ToUpper(*run), tuning)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		scenarios = []core.Scenario{s}
+	}
+
+	if *topology {
+		for _, s := range scenarios {
+			fmt.Println(core.Topology(s))
+		}
+		return
+	}
+
+	var rows []core.Row
+	for _, s := range scenarios {
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.ID, s.Description)
+		row, err := core.RunScenario(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+		if *verbose {
+			printDetails(row)
+		}
+	}
+
+	fmt.Println("Table 2 — Performances of the DPM in the different simulations")
+	fmt.Print(core.FormatTable2(rows))
+	fmt.Println("\n(shape comparison: absolute numbers depend on the synthetic")
+	fmt.Println(" power/battery/thermal characterisation; see EXPERIMENTS.md)")
+	for _, row := range rows {
+		fmt.Printf("sim speed %-3s: DPM %.1f Kcycle/s, baseline %.1f Kcycle/s\n",
+			row.ID, row.DPM.KCyclesPerSec(), row.Base.KCyclesPerSec())
+	}
+}
+
+func printDetails(row core.Row) {
+	d, b := row.DPM, row.Base
+	fmt.Printf("  %s: dpm %.4f J in %v (%d tasks, completed=%v)\n",
+		row.ID, d.EnergyJ, d.Duration, d.TasksDone, d.Completed)
+	fmt.Printf("      base %.4f J in %v\n", b.EnergyJ, b.Duration)
+	fmt.Printf("      temp avg %.1f°C peak %.1f°C (base avg %.1f°C peak %.1f°C)\n",
+		d.AvgTempC, d.PeakTempC, b.AvgTempC, b.PeakTempC)
+	fmt.Printf("      battery final SoC %.3f (%v)\n", d.FinalSoC, d.FinalBatteryStatus)
+	for name, st := range d.LEMStats {
+		fmt.Printf("      %s: on=%v sleep=%v parks=%d parked=%v\n",
+			name, st.OnDecisions, st.SleepEntries, st.ParkEvents, st.ParkedTime)
+	}
+	if d.GEMEvaluations > 0 {
+		fmt.Printf("      gem: %d evaluations, %d fan switches\n", d.GEMEvaluations, d.FanSwitches)
+	}
+	if d.BusOccupancy > 0 {
+		fmt.Printf("      bus occupancy %.2f%%\n", 100*d.BusOccupancy)
+	}
+}

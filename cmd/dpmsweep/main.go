@@ -1,0 +1,49 @@
+// Command dpmsweep runs one of the built-in parameter studies (timeout,
+// activity, alpha) and writes a CSV series to stdout — the figure-style
+// companion to cmd/dpmsim's Table 2.
+//
+// Usage:
+//
+//	dpmsweep -study timeout [-tasks 40] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"godpm/internal/sweep"
+)
+
+func main() {
+	var (
+		study = flag.String("study", "timeout", "study to run: timeout, activity, alpha")
+		tasks = flag.Int("tasks", 40, "tasks per IP")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	studies := sweep.Studies(*seed, *tasks)
+	s, ok := studies[*study]
+	if !ok {
+		names := make([]string, 0, len(studies))
+		for n := range studies {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "unknown study %q; available: %v\n", *study, names)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "running study %s over %s = %v...\n", s.Name, s.Param, s.Values)
+	pts, err := s.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sweep.WriteCSV(os.Stdout, s.Param, pts, s.BuildBaseline != nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

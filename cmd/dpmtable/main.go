@@ -1,0 +1,64 @@
+// Command dpmtable reproduces the paper's Table 1: it prints the power-state
+// selection policy in the paper's layout, the full decision table over the
+// quantised input space, and the coverage analysis of the literal paper
+// table (its dead row and its undecided region — see DESIGN.md).
+//
+// Usage:
+//
+//	dpmtable [-decisions] [-coverage] [-dsl]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"godpm/internal/battery"
+	"godpm/internal/rules"
+	"godpm/internal/task"
+	"godpm/internal/thermal"
+)
+
+func main() {
+	var (
+		decisions = flag.Bool("decisions", false, "print the decision for every input combination")
+		coverage  = flag.Bool("coverage", false, "print the coverage analysis of the literal paper table")
+		dsl       = flag.Bool("dsl", false, "print the natural-language rule script")
+	)
+	flag.Parse()
+
+	fmt.Println("Table 1 — Power state selection algorithm")
+	fmt.Print(rules.Table1().Format())
+
+	if *dsl {
+		fmt.Println("\nNatural-language rule form (rules.Table1DSL):")
+		fmt.Print(rules.Table1DSL)
+	}
+
+	if *decisions {
+		fmt.Println("\nFull decision table (first-match rule index in brackets, -1 = default):")
+		tbl := rules.Table1()
+		for p := task.Priority(0); int(p) < task.NumPriorities; p++ {
+			for b := battery.Status(0); int(b) < battery.NumStatuses; b++ {
+				for tc := thermal.Class(0); int(tc) < thermal.NumClasses; tc++ {
+					state, idx, _ := tbl.Select(p, b, tc)
+					fmt.Printf("  priority=%-8s battery=%-6s temp=%-6s -> %-7s [%d]\n",
+						p, b, tc, state, idx)
+				}
+			}
+		}
+	}
+
+	if *coverage {
+		fmt.Println("\nCoverage of the literal paper table (before completion):")
+		cov := rules.NewTable(rules.Table1Rules()).Analyze()
+		fmt.Printf("  dead rules: %v\n", cov.DeadRules)
+		for _, i := range cov.DeadRules {
+			fmt.Printf("    rule %d: %s\n", i, rules.Table1Rules()[i].Source)
+		}
+		fmt.Printf("  undecided combinations: %d\n", len(cov.Unmatched))
+		for _, c := range cov.Unmatched {
+			fmt.Printf("    %s\n", c)
+		}
+		fmt.Println("  (the shipped table adds 'default ON3' for the undecided region)")
+	}
+}

@@ -1,0 +1,12 @@
+// Package godpm is a pure-Go reproduction of "SystemC Analysis of a New
+// Dynamic Power Management Architecture" (Massimo Conti, DATE 2005): an
+// ACPI-style dynamic power management architecture for systems-on-chip —
+// a Power State Machine and Local Energy Manager per IP block, an optional
+// Global Energy Manager arbitrating on battery status, chip temperature and
+// static priorities — rebuilt on a SystemC-like discrete-event kernel.
+//
+// The public entry point is internal/core; the experiment harness that
+// regenerates the paper's Table 1 and Table 2 lives in internal/experiments
+// and is exercised by the benchmarks in bench_test.go. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package godpm

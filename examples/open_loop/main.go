@@ -1,0 +1,51 @@
+// Open-loop traffic: service requests arrive on their own schedule whether
+// or not the IP is ready (the paper's IPs execute tasks "on the basis of
+// some external service requests"). When the DPM policy slows the core
+// down, requests queue up and service times grow — this example sweeps the
+// offered load and shows where the DPM-managed IP saturates while the
+// always-on IP still keeps up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"godpm/internal/core"
+	"godpm/internal/sim"
+	"godpm/internal/workload"
+)
+
+func main() {
+	fmt.Printf("%-14s %-10s %12s %14s %14s\n",
+		"inter-arrival", "policy", "energy J", "avg service", "max service")
+	for _, gapMs := range []float64{120, 60, 30, 10} {
+		for _, policy := range []core.Config{{Policy: core.PolicyAlwaysOn}, {Policy: core.PolicyDPM}} {
+			p := workload.HighActivity(21, 40)
+			p.MeanIdle = sim.Time(gapMs * float64(sim.Ms))
+			arrivals := p.MustGenerateArrivals(200e6)
+
+			cfg := policy
+			cfg.IPs = []core.IPSpec{{Name: "cpu", Arrivals: arrivals}}
+			cfg.Battery = core.DefaultBattery(0.25) // Low: DPM runs at ON4
+			cfg.Horizon = 60 * sim.Sec
+			res, err := core.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var sum, max sim.Time
+			for _, r := range res.Ledger.Records() {
+				s := r.Service()
+				sum += s
+				if s > max {
+					max = s
+				}
+			}
+			avg := sum / sim.Time(res.Ledger.Len())
+			fmt.Printf("%-14s %-10s %12.4f %14v %14v\n",
+				sim.Time(gapMs*float64(sim.Ms)), cfg.Policy, res.EnergyJ, avg, max)
+		}
+	}
+	fmt.Println("\nAt light load the ON4-throttled DPM core keeps up cheaply; as the")
+	fmt.Println("inter-arrival gap shrinks below the 4×-slower execution time, its")
+	fmt.Println("queue grows without bound while the always-on core still copes.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: assemble a single-IP SoC with the paper's DPM architecture
+// (PSM + LEM over battery and temperature classes), run a generated
+// workload, and compare it against the always-on baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"godpm/internal/core"
+	"godpm/internal/workload"
+)
+
+func main() {
+	// A traffic-generator workload: 50 tasks, busy roughly half the time,
+	// with mixed instruction classes and priorities.
+	seq := workload.HighActivity(7, 50).MustGenerate()
+
+	cfg := core.Config{
+		IPs:      []core.IPSpec{{Name: "cpu", Sequence: seq}},
+		Policy:   core.PolicyDPM,
+		Battery:  core.DefaultBattery(0.95), // battery Full
+		BusWords: 32,
+	}
+	dpm, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Policy = core.PolicyAlwaysOn
+	base, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %d tasks, %d instructions total\n",
+		len(seq), seq.TotalInstructions())
+	fmt.Printf("baseline (always ON1): %.4f J in %v, avg %.1f°C\n",
+		base.EnergyJ, base.Duration, base.AvgTempC)
+	fmt.Printf("DPM:                   %.4f J in %v, avg %.1f°C\n",
+		dpm.EnergyJ, dpm.Duration, dpm.AvgTempC)
+	fmt.Printf("energy saving: %.1f%%\n", 100*(base.EnergyJ-dpm.EnergyJ)/base.EnergyJ)
+
+	st := dpm.LEMStats["cpu"]
+	fmt.Printf("LEM decisions: %v\n", st.OnDecisions)
+	fmt.Printf("sleep entries: %v\n", st.SleepEntries)
+}

@@ -1,0 +1,68 @@
+// Thermal throttling: a four-IP SoC under the GEM starts with an overheated
+// die. The GEM disables every IP and switches the supplementary fan on; as
+// the die cools through the class thresholds the IPs are re-enabled and the
+// LEMs pick speeds that keep the temperature in check — the paper's "DPM
+// algorithm is very efficient in the control of chip temperature".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"godpm/internal/core"
+	"godpm/internal/sim"
+	"godpm/internal/workload"
+)
+
+func main() {
+	var specs []core.IPSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, core.IPSpec{
+			Name:           fmt.Sprintf("ip%d", i+1),
+			Sequence:       workload.HighActivity(int64(i+1), 30).MustGenerate(),
+			StaticPriority: i + 1,
+		})
+	}
+
+	run := func(initialTempC float64, label string) {
+		cfg := core.Config{
+			IPs:          specs,
+			Policy:       core.PolicyDPM,
+			UseGEM:       true,
+			Battery:      core.DefaultBattery(0.95),
+			InitialTempC: initialTempC,
+			Horizon:      120 * sim.Sec,
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parks := 0
+		for _, st := range res.LEMStats {
+			parks += st.ParkEvents
+		}
+		fmt.Printf("%-22s avg %.1f°C  peak %.1f°C  %.4f J  %v  parks=%d  fanSwitches=%d\n",
+			label, res.AvgTempC, res.PeakTempC, res.EnergyJ, res.Duration, parks, res.FanSwitches)
+	}
+
+	fmt.Println("DPM with GEM, four IPs, battery Full:")
+	run(50, "cool start (50°C)")
+	run(95, "hot start (95°C)")
+
+	// Contrast: the baseline has no thermal control at all.
+	base := core.Config{
+		IPs:          specs,
+		Policy:       core.PolicyAlwaysOn,
+		Battery:      core.DefaultBattery(0.95),
+		InitialTempC: 95,
+		Horizon:      120 * sim.Sec,
+	}
+	res, err := core.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s avg %.1f°C  peak %.1f°C  %.4f J  %v\n",
+		"baseline, hot start", res.AvgTempC, res.PeakTempC, res.EnergyJ, res.Duration)
+	fmt.Println("\nThe DPM run holds the die near the class thresholds; the baseline")
+	fmt.Println("just keeps heating under load.")
+}

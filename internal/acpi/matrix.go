@@ -1,0 +1,56 @@
+package acpi
+
+import (
+	"fmt"
+	"strings"
+
+	"godpm/internal/power"
+	"godpm/internal/sim"
+)
+
+// TransitionCostEntry is one cell of the full state-transition cost matrix.
+type TransitionCostEntry struct {
+	From, To State
+	Latency  sim.Time
+	EnergyJ  float64
+}
+
+// TransitionTable computes the complete NumStates×NumStates cost matrix for
+// a profile — the "cost in terms of delay and power dissipation of the
+// transition between two power states" the paper's DPM algorithm considers.
+// Entries are ordered row-major by (From, To).
+func TransitionTable(prof *power.Profile) []TransitionCostEntry {
+	// A scratch PSM carries the cost model; the kernel is never run.
+	k := sim.NewKernel()
+	psm := NewPSM(k, "scratch", prof, ON1)
+	out := make([]TransitionCostEntry, 0, NumStates*NumStates)
+	for _, from := range AllStates() {
+		for _, to := range AllStates() {
+			lat, e := psm.TransitionCost(from, to)
+			out = append(out, TransitionCostEntry{From: from, To: to, Latency: lat, EnergyJ: e})
+		}
+	}
+	return out
+}
+
+// FormatTransitionMatrix renders the latency matrix as a text table
+// (energies available via TransitionTable).
+func FormatTransitionMatrix(prof *power.Profile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s", "from\\to")
+	for _, to := range AllStates() {
+		fmt.Fprintf(&sb, " %9s", to)
+	}
+	sb.WriteString("\n")
+	k := sim.NewKernel()
+	psm := NewPSM(k, "scratch", prof, ON1)
+	for _, from := range AllStates() {
+		fmt.Fprintf(&sb, "%-8s", from)
+		for _, to := range AllStates() {
+			lat, _ := psm.TransitionCost(from, to)
+			fmt.Fprintf(&sb, " %9s", lat)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+// Package acpi defines the ACPI-style power states of the paper's Power
+// State Machine (PSM) — soft-off, four sleep states SL1..SL4 and four
+// execution states ON1..ON4 with decreasing speed and power — and the PSM
+// component that owns the state, enforces transition costs and reports the
+// actual state to the functional block.
+package acpi
+
+import "fmt"
+
+// State is one ACPI power state. Ordering is by increasing capability:
+// SoftOff < SL4 < ... < SL1 < ON4 < ... < ON1.
+type State int
+
+// The ten states of the paper's PSM.
+const (
+	SoftOff State = iota
+	SL4
+	SL3
+	SL2
+	SL1
+	ON4
+	ON3
+	ON2
+	ON1
+	NumStates = int(ON1) + 1
+)
+
+// String returns the paper's name for the state.
+func (s State) String() string {
+	switch s {
+	case SoftOff:
+		return "SoftOff"
+	case SL4, SL3, SL2, SL1:
+		return fmt.Sprintf("SL%d", 5-int(s))
+	case ON4, ON3, ON2, ON1:
+		return fmt.Sprintf("ON%d", int(ON1)-int(s)+1)
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// IsOn reports whether the state is an execution state.
+func (s State) IsOn() bool { return s >= ON4 && s <= ON1 }
+
+// IsSleep reports whether the state is one of SL1..SL4.
+func (s State) IsSleep() bool { return s >= SL4 && s <= SL1 }
+
+// OnIndex returns 0..3 for ON1..ON4; it panics for non-ON states.
+func (s State) OnIndex() int {
+	if !s.IsOn() {
+		panic("acpi: OnIndex on non-ON state " + s.String())
+	}
+	return int(ON1) - int(s)
+}
+
+// SleepIndex returns 0..4 for SL1..SL4 and soft-off (matching
+// power.Profile.Sleep); it panics for ON states.
+func (s State) SleepIndex() int {
+	switch {
+	case s.IsSleep():
+		return int(SL1) - int(s)
+	case s == SoftOff:
+		return 4
+	default:
+		panic("acpi: SleepIndex on ON state " + s.String())
+	}
+}
+
+// OnState returns the execution state with the given index (0 → ON1).
+func OnState(index int) State {
+	if index < 0 || index > 3 {
+		panic(fmt.Sprintf("acpi: OnState index %d out of range", index))
+	}
+	return State(int(ON1) - index)
+}
+
+// SleepStateByIndex returns SL1..SL4 for 0..3 and SoftOff for 4.
+func SleepStateByIndex(index int) State {
+	switch {
+	case index >= 0 && index <= 3:
+		return State(int(SL1) - index)
+	case index == 4:
+		return SoftOff
+	default:
+		panic(fmt.Sprintf("acpi: SleepStateByIndex %d out of range", index))
+	}
+}
+
+// ParseState converts a paper-style name ("ON3", "SL1", "SoftOff") to a
+// State.
+func ParseState(name string) (State, error) {
+	for s := State(0); int(s) < NumStates; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("acpi: unknown state %q", name)
+}
+
+// AllStates returns every state in capability order (SoftOff first).
+func AllStates() []State {
+	out := make([]State, NumStates)
+	for i := range out {
+		out[i] = State(i)
+	}
+	return out
+}

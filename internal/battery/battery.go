@@ -1,0 +1,250 @@
+// Package battery models the SoC's energy source. The paper's GEM/LEM only
+// observe a quantised battery status in five classes (Empty, Low, Medium,
+// High, Full — plus mains power, which Table 1 lists as "Power supply"),
+// but scenario B/C dynamics depend on the battery's behaviour under load:
+// we provide a simple linear reservoir with a rate-capacity penalty and a
+// kinetic battery model (KiBaM) whose charge-recovery effect lets the
+// status class climb back when the load drops.
+package battery
+
+import (
+	"fmt"
+	"math"
+
+	"godpm/internal/sim"
+)
+
+// Status is the quantised battery class the energy managers observe.
+type Status int
+
+// Battery classes in increasing order of charge, plus Mains.
+const (
+	Empty Status = iota
+	Low
+	Medium
+	High
+	Full
+	// Mains means the system runs from a power supply, not the battery
+	// ("Power supply" row of the paper's Table 1).
+	Mains
+	NumStatuses = int(Mains) + 1
+)
+
+// String returns the paper's name for the class.
+func (s Status) String() string {
+	switch s {
+	case Empty:
+		return "Empty"
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	case Full:
+		return "Full"
+	case Mains:
+		return "Mains"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ParseStatus converts a class name back to a Status.
+func ParseStatus(name string) (Status, error) {
+	for s := Status(0); int(s) < NumStatuses; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("battery: unknown status %q", name)
+}
+
+// Thresholds maps state of charge to a Status: soc < Empty→Empty etc.
+type Thresholds struct {
+	EmptyBelow  float64
+	LowBelow    float64
+	MediumBelow float64
+	HighBelow   float64
+}
+
+// DefaultThresholds returns the classification used in the experiments.
+func DefaultThresholds() Thresholds {
+	return Thresholds{EmptyBelow: 0.05, LowBelow: 0.30, MediumBelow: 0.60, HighBelow: 0.85}
+}
+
+// Classify quantises a state of charge in [0,1].
+func (th Thresholds) Classify(soc float64) Status {
+	switch {
+	case soc < th.EmptyBelow:
+		return Empty
+	case soc < th.LowBelow:
+		return Low
+	case soc < th.MediumBelow:
+		return Medium
+	case soc < th.HighBelow:
+		return High
+	default:
+		return Full
+	}
+}
+
+// Validate checks the thresholds are strictly increasing within (0,1).
+func (th Thresholds) Validate() error {
+	vals := []float64{0, th.EmptyBelow, th.LowBelow, th.MediumBelow, th.HighBelow, 1}
+	for i := 0; i+1 < len(vals); i++ {
+		if vals[i] >= vals[i+1] {
+			return fmt.Errorf("battery: thresholds not strictly increasing: %v", th)
+		}
+	}
+	return nil
+}
+
+// Model is a battery chemistry: it absorbs load steps and reports state of
+// charge.
+type Model interface {
+	// Step applies a constant power draw (watts) for dt of simulated time.
+	Step(power float64, dt sim.Time)
+	// SoC returns the usable state of charge in [0,1] — what the status
+	// encoder observes.
+	SoC() float64
+	// TotalCharge returns the total remaining energy fraction in [0,1]
+	// (for KiBaM this includes bound charge not immediately usable).
+	TotalCharge() float64
+	// CapacityJ returns the nominal capacity in joules.
+	CapacityJ() float64
+}
+
+// Linear is an energy reservoir with an optional rate-capacity penalty:
+// drawing power P costs P·(1 + RateK·P/RefPower) — high currents waste
+// charge, a first-order stand-in for Peukert's law.
+type Linear struct {
+	capacity float64
+	charge   float64
+	RateK    float64
+	RefPower float64
+}
+
+// NewLinear creates a linear battery with the given capacity (joules) and
+// initial state of charge in [0,1].
+func NewLinear(capacityJ, initialSoC float64) *Linear {
+	if capacityJ <= 0 || initialSoC < 0 || initialSoC > 1 {
+		panic("battery: bad linear battery parameters")
+	}
+	return &Linear{capacity: capacityJ, charge: capacityJ * initialSoC, RefPower: 1}
+}
+
+// Step implements Model.
+func (b *Linear) Step(power float64, dt sim.Time) {
+	if power < 0 {
+		power = 0
+	}
+	eff := power
+	if b.RateK > 0 && b.RefPower > 0 {
+		eff = power * (1 + b.RateK*power/b.RefPower)
+	}
+	b.charge -= eff * dt.Seconds()
+	if b.charge < 0 {
+		b.charge = 0
+	}
+}
+
+// Recharge sets the state of charge (an external charger).
+func (b *Linear) Recharge(soc float64) {
+	if soc < 0 || soc > 1 {
+		panic("battery: recharge SoC outside [0,1]")
+	}
+	b.charge = b.capacity * soc
+}
+
+// SoC implements Model.
+func (b *Linear) SoC() float64 { return b.charge / b.capacity }
+
+// TotalCharge implements Model.
+func (b *Linear) TotalCharge() float64 { return b.SoC() }
+
+// CapacityJ implements Model.
+func (b *Linear) CapacityJ() float64 { return b.capacity }
+
+// KiBaM is the kinetic battery model: charge is split between an available
+// well (fraction C of capacity) that supplies the load directly and a bound
+// well that refills the available well at a rate proportional to the head
+// difference. Under sustained load the available well drains faster than
+// the bound well refills it (rate-capacity effect); at rest charge flows
+// back (recovery effect) — the mechanism that lets scenario B/C's battery
+// class climb from Low back to Medium.
+type KiBaM struct {
+	capacity  float64 // joules
+	c         float64 // available-well fraction, 0 < c < 1
+	kPerSec   float64 // valve rate constant (1/s)
+	available float64 // joules in the available well
+	bound     float64 // joules in the bound well
+}
+
+// NewKiBaM creates a kinetic battery. c is the available-charge fraction
+// (typically 0.2–0.6); k the valve rate constant per second.
+func NewKiBaM(capacityJ, initialSoC, c, kPerSec float64) *KiBaM {
+	if capacityJ <= 0 || initialSoC < 0 || initialSoC > 1 || c <= 0 || c >= 1 || kPerSec <= 0 {
+		panic("battery: bad KiBaM parameters")
+	}
+	total := capacityJ * initialSoC
+	return &KiBaM{
+		capacity:  capacityJ,
+		c:         c,
+		kPerSec:   kPerSec,
+		available: total * c,
+		bound:     total * (1 - c),
+	}
+}
+
+// Step integrates the two-well ODEs with sub-stepping for stability.
+func (b *KiBaM) Step(power float64, dt sim.Time) {
+	if power < 0 {
+		power = 0
+	}
+	remaining := dt.Seconds()
+	// Explicit Euler with steps bounded by 1/(10k) for stability.
+	maxStep := 1 / (10 * b.kPerSec)
+	for remaining > 1e-15 {
+		h := remaining
+		if h > maxStep {
+			h = maxStep
+		}
+		h1 := b.available / b.c
+		h2 := b.bound / (1 - b.c)
+		flow := b.kPerSec * (h2 - h1) // joules/sec from bound to available
+		b.available += (flow - power) * h
+		b.bound -= flow * h
+		if b.available < 0 {
+			b.available = 0
+		}
+		if b.bound < 0 {
+			b.bound = 0
+		}
+		remaining -= h
+	}
+}
+
+// Recharge sets the total state of charge, distributed between the wells
+// in equilibrium proportions (an external charger).
+func (b *KiBaM) Recharge(soc float64) {
+	if soc < 0 || soc > 1 {
+		panic("battery: recharge SoC outside [0,1]")
+	}
+	total := b.capacity * soc
+	b.available = total * b.c
+	b.bound = total * (1 - b.c)
+}
+
+// SoC implements Model: the usable state of charge is the available well
+// relative to its share of capacity.
+func (b *KiBaM) SoC() float64 {
+	soc := b.available / (b.c * b.capacity)
+	return math.Min(soc, 1)
+}
+
+// TotalCharge implements Model.
+func (b *KiBaM) TotalCharge() float64 { return (b.available + b.bound) / b.capacity }
+
+// CapacityJ implements Model.
+func (b *KiBaM) CapacityJ() float64 { return b.capacity }

@@ -1,0 +1,254 @@
+package battery
+
+import (
+	"testing"
+	"testing/quick"
+
+	"godpm/internal/sim"
+)
+
+func TestStatusStringsAndParse(t *testing.T) {
+	for s := Status(0); int(s) < NumStatuses; s++ {
+		got, err := ParseStatus(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip failed for %v", s)
+		}
+	}
+	if _, err := ParseStatus("Overfull"); err == nil {
+		t.Error("bogus status parsed")
+	}
+}
+
+func TestThresholdClassification(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		soc  float64
+		want Status
+	}{
+		{0.0, Empty}, {0.049, Empty}, {0.05, Low}, {0.29, Low},
+		{0.30, Medium}, {0.59, Medium}, {0.60, High}, {0.84, High},
+		{0.85, Full}, {1.0, Full},
+	}
+	for _, c := range cases {
+		if got := th.Classify(c.soc); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.soc, got, c.want)
+		}
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Thresholds{EmptyBelow: 0.5, LowBelow: 0.3, MediumBelow: 0.6, HighBelow: 0.85}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-monotonic thresholds accepted")
+	}
+}
+
+func TestLinearDischarge(t *testing.T) {
+	b := NewLinear(100, 1.0) // 100 J
+	b.Step(1.0, 10*sim.Sec)  // 1 W for 10 s = 10 J
+	if soc := b.SoC(); soc < 0.899 || soc > 0.901 {
+		t.Fatalf("SoC = %v, want 0.9", soc)
+	}
+	if b.TotalCharge() != b.SoC() {
+		t.Fatal("linear TotalCharge should equal SoC")
+	}
+}
+
+func TestLinearNeverNegative(t *testing.T) {
+	b := NewLinear(10, 0.1)
+	b.Step(100, 10*sim.Sec)
+	if b.SoC() != 0 {
+		t.Fatalf("SoC = %v, want clamped to 0", b.SoC())
+	}
+}
+
+func TestLinearRateCapacityPenalty(t *testing.T) {
+	// Same energy delivered at double the power must cost more charge when
+	// RateK > 0.
+	lo := NewLinear(1000, 1.0)
+	hi := NewLinear(1000, 1.0)
+	lo.RateK, lo.RefPower = 0.5, 1.0
+	hi.RateK, hi.RefPower = 0.5, 1.0
+	lo.Step(1.0, 20*sim.Sec) // 20 J at 1 W
+	hi.Step(2.0, 10*sim.Sec) // 20 J at 2 W
+	if hi.SoC() >= lo.SoC() {
+		t.Fatalf("rate-capacity penalty missing: hi %v >= lo %v", hi.SoC(), lo.SoC())
+	}
+}
+
+func TestLinearNegativePowerIgnored(t *testing.T) {
+	b := NewLinear(100, 0.5)
+	b.Step(-5, sim.Sec)
+	if b.SoC() != 0.5 {
+		t.Fatalf("negative power changed charge: %v", b.SoC())
+	}
+}
+
+func TestLinearBadParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLinear(0, 0.5)
+}
+
+func TestKiBaMDischargeAndBounds(t *testing.T) {
+	b := NewKiBaM(100, 1.0, 0.4, 0.1)
+	b.Step(1.0, 10*sim.Sec)
+	if b.SoC() >= 1.0 {
+		t.Fatal("KiBaM did not discharge")
+	}
+	if b.TotalCharge() > 0.91 || b.TotalCharge() < 0.89 {
+		t.Fatalf("TotalCharge = %v, want ~0.9 (10 J of 100 J drawn)", b.TotalCharge())
+	}
+}
+
+func TestKiBaMRateCapacityEffect(t *testing.T) {
+	// Under heavy load the available well drains faster than the bound well
+	// refills: usable SoC drops below total charge.
+	b := NewKiBaM(100, 1.0, 0.3, 0.05)
+	b.Step(5.0, 4*sim.Sec)
+	if b.SoC() >= b.TotalCharge() {
+		t.Fatalf("SoC %v should lag TotalCharge %v under load", b.SoC(), b.TotalCharge())
+	}
+}
+
+func TestKiBaMRecoveryEffect(t *testing.T) {
+	// After load is removed, the available well refills from the bound
+	// well: SoC rises with zero draw. This drives scenario B/C.
+	b := NewKiBaM(100, 1.0, 0.3, 0.05)
+	b.Step(5.0, 4*sim.Sec)
+	low := b.SoC()
+	b.Step(0, 60*sim.Sec)
+	if b.SoC() <= low {
+		t.Fatalf("no recovery: SoC %v after rest, was %v", b.SoC(), low)
+	}
+	// Total charge must not increase during rest (no free energy).
+	if b.TotalCharge() > 0.81 {
+		t.Fatalf("TotalCharge grew during rest: %v", b.TotalCharge())
+	}
+}
+
+func TestKiBaMConservationAtRest(t *testing.T) {
+	b := NewKiBaM(100, 0.8, 0.4, 0.1)
+	before := b.TotalCharge()
+	b.Step(0, 100*sim.Sec)
+	after := b.TotalCharge()
+	if diff := before - after; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("rest changed total charge by %v", diff)
+	}
+}
+
+func TestKiBaMBadParamsPanic(t *testing.T) {
+	bad := [][4]float64{
+		{0, 1, 0.4, 0.1},   // capacity
+		{100, 2, 0.4, 0.1}, // soc
+		{100, 1, 0, 0.1},   // c
+		{100, 1, 1, 0.1},   // c
+		{100, 1, 0.4, 0},   // k
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewKiBaM(p[0], p[1], p[2], p[3])
+		}()
+	}
+}
+
+// Property: discharge is monotone — more energy drawn never leaves more
+// charge, for both models.
+func TestDischargeMonotoneProperty(t *testing.T) {
+	f := func(p1, p2 uint8) bool {
+		a, b := float64(p1%50)/10, float64(p2%50)/10
+		if a > b {
+			a, b = b, a
+		}
+		l1, l2 := NewLinear(1000, 1), NewLinear(1000, 1)
+		l1.Step(a, 10*sim.Sec)
+		l2.Step(b, 10*sim.Sec)
+		if l2.SoC() > l1.SoC()+1e-12 {
+			return false
+		}
+		k1 := NewKiBaM(1000, 1, 0.4, 0.1)
+		k2 := NewKiBaM(1000, 1, 0.4, 0.1)
+		k1.Step(a, 10*sim.Sec)
+		k2.Step(b, 10*sim.Sec)
+		return k2.TotalCharge() <= k1.TotalCharge()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackStatusSignal(t *testing.T) {
+	k := sim.NewKernel()
+	p := NewPack(k, "bat", NewLinear(100, 0.95), DefaultThresholds(), false)
+	if p.Status() != Full {
+		t.Fatalf("initial status %v, want Full", p.Status())
+	}
+	var observed []Status
+	p.StatusSignal().OnChange(func(_ sim.Time, s Status) { observed = append(observed, s) })
+	e := k.NewEvent("tick")
+	n := 0
+	k.Method("drain", func() {
+		p.Step(10, 2*sim.Sec) // 20 J per tick
+		n++
+		if n < 5 {
+			e.Notify(sim.Ms)
+		}
+	}).Sensitive(e)
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	// 95 J initial, 20 J per tick → Full, High(75), Medium(55), Low(35→15), Empty.
+	if len(observed) < 3 {
+		t.Fatalf("observed transitions %v, want several classes", observed)
+	}
+	last := observed[len(observed)-1]
+	if last != Empty && last != Low {
+		t.Fatalf("final class %v, want Low or Empty", last)
+	}
+}
+
+func TestPackMains(t *testing.T) {
+	k := sim.NewKernel()
+	p := NewPack(k, "psu", NewLinear(100, 0.5), DefaultThresholds(), true)
+	if p.Status() != Mains {
+		t.Fatalf("status %v, want Mains", p.Status())
+	}
+	p.Step(1000, sim.Sec)
+	if p.Status() != Mains || p.SoC() != 1 {
+		t.Fatal("mains pack must ignore load")
+	}
+	if p.PredictStatus(1000, sim.Sec) != Mains {
+		t.Fatal("mains prediction must be Mains")
+	}
+}
+
+func TestPackPredictStatus(t *testing.T) {
+	k := sim.NewKernel()
+	p := NewPack(k, "bat", NewLinear(100, 0.35), DefaultThresholds(), false)
+	if p.Status() != Medium {
+		t.Fatalf("status %v, want Medium", p.Status())
+	}
+	// Drawing 10 W for 1 s = 10 J → SoC 0.25 → Low.
+	if got := p.PredictStatus(10, sim.Sec); got != Low {
+		t.Fatalf("PredictStatus = %v, want Low", got)
+	}
+	// Prediction must not mutate.
+	if p.SoC() != 0.35 {
+		t.Fatalf("prediction mutated SoC to %v", p.SoC())
+	}
+	// Over-draw clamps at Empty.
+	if got := p.PredictStatus(1000, sim.Sec); got != Empty {
+		t.Fatalf("PredictStatus overdraw = %v, want Empty", got)
+	}
+}

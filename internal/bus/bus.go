@@ -1,0 +1,212 @@
+// Package bus models the shared interconnect of Fig. 1: IP blocks receive
+// their service requests over a bus whose occupation is one of the SoC
+// resources the GEM may consult. The model is transaction level: a
+// requester acquires the bus (FIFO arbitration), holds it for the transfer
+// duration (words ÷ bus frequency), and releases it; occupancy and
+// per-master statistics are tracked, and each transferred word costs a
+// configurable energy.
+package bus
+
+import (
+	"fmt"
+
+	"godpm/internal/sim"
+)
+
+// Arbitration selects how contending masters are ordered.
+type Arbitration int
+
+// Arbitration modes.
+const (
+	// FIFO grants the bus in request order (the default).
+	FIFO Arbitration = iota
+	// PriorityOrder grants the waiting master with the smallest priority
+	// number first (ties broken by request order) — matching the GEM's
+	// static IP priorities.
+	PriorityOrder
+)
+
+// Config parameterises the bus.
+type Config struct {
+	// FreqHz is the bus clock; one word transfers per cycle.
+	FreqHz float64
+	// EnergyPerWord is the joules dissipated per transferred word.
+	EnergyPerWord float64
+	// Arbitration orders contending masters (default FIFO).
+	Arbitration Arbitration
+}
+
+// DefaultConfig returns a 100 MHz bus at 50 pJ/word.
+func DefaultConfig() Config {
+	return Config{FreqHz: 100e6, EnergyPerWord: 50e-12}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FreqHz <= 0 {
+		return fmt.Errorf("bus: non-positive frequency")
+	}
+	if c.EnergyPerWord < 0 {
+		return fmt.Errorf("bus: negative energy per word")
+	}
+	return nil
+}
+
+// Bus is the shared interconnect component.
+type Bus struct {
+	k   *sim.Kernel
+	cfg Config
+
+	busy     bool
+	owner    string
+	released *sim.Event
+	queue    []*pending
+	seq      int
+
+	busyTime   sim.Time
+	lastAcq    sim.Time
+	totalWords int64
+	perMaster  map[string]int64
+	energy     float64
+
+	// onEnergy, if set, receives each transaction's energy (wired to the
+	// SoC energy meter).
+	onEnergy func(j float64)
+}
+
+// pending is one queued bus request.
+type pending struct {
+	master   string
+	priority int
+	seq      int
+}
+
+// New creates a bus on the kernel.
+func New(k *sim.Kernel, name string, cfg Config) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bus{
+		k: k, cfg: cfg,
+		released:  k.NewEvent(name + ".released"),
+		perMaster: make(map[string]int64),
+	}
+}
+
+// OnEnergy registers the transaction energy sink.
+func (b *Bus) OnEnergy(fn func(j float64)) { b.onEnergy = fn }
+
+// TransferDuration returns the bus time for a word count.
+func (b *Bus) TransferDuration(words int) sim.Time {
+	if words <= 0 {
+		return 0
+	}
+	return sim.Time(float64(words)/b.cfg.FreqHz*float64(sim.Sec) + 0.5)
+}
+
+// Transfer performs a blocking transaction with neutral priority; see
+// TransferPri.
+func (b *Bus) Transfer(c *sim.Ctx, master string, words int) sim.Time {
+	return b.TransferPri(c, master, words, 0)
+}
+
+// TransferPri performs a blocking transaction: the calling thread waits
+// for the bus (ordered by the configured arbitration; priority matters
+// only in PriorityOrder mode, smaller wins), holds it for the transfer
+// duration, and releases it. It returns the time spent waiting for
+// arbitration.
+func (b *Bus) TransferPri(c *sim.Ctx, master string, words, priority int) sim.Time {
+	if words <= 0 {
+		return 0
+	}
+	reqAt := c.Now()
+	b.seq++
+	me := &pending{master: master, priority: priority, seq: b.seq}
+	b.queue = append(b.queue, me)
+	for b.busy || b.head() != me {
+		c.Wait(b.released)
+	}
+	b.dequeue(me)
+	b.busy = true
+	b.owner = master
+	b.lastAcq = c.Now()
+	waited := c.Now() - reqAt
+
+	c.WaitTime(b.TransferDuration(words))
+
+	b.busy = false
+	b.owner = ""
+	b.busyTime += c.Now() - b.lastAcq
+	b.totalWords += int64(words)
+	b.perMaster[master] += int64(words)
+	e := float64(words) * b.cfg.EnergyPerWord
+	b.energy += e
+	if b.onEnergy != nil && e > 0 {
+		b.onEnergy(e)
+	}
+	b.released.NotifyDelta()
+	return waited
+}
+
+// Occupancy returns the fraction of simulated time the bus was held, so
+// far.
+func (b *Bus) Occupancy() float64 {
+	now := b.k.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := b.busyTime
+	if b.busy {
+		busy += now - b.lastAcq
+	}
+	return busy.Seconds() / now.Seconds()
+}
+
+// head returns the next request the arbitration would grant.
+func (b *Bus) head() *pending {
+	if len(b.queue) == 0 {
+		return nil
+	}
+	best := b.queue[0]
+	for _, p := range b.queue[1:] {
+		switch b.cfg.Arbitration {
+		case PriorityOrder:
+			if p.priority < best.priority || (p.priority == best.priority && p.seq < best.seq) {
+				best = p
+			}
+		default: // FIFO
+			if p.seq < best.seq {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// dequeue removes a granted request.
+func (b *Bus) dequeue(me *pending) {
+	for i, p := range b.queue {
+		if p == me {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// QueueLength returns the number of masters currently waiting.
+func (b *Bus) QueueLength() int { return len(b.queue) }
+
+// Busy reports whether a transaction is in flight.
+func (b *Bus) Busy() bool { return b.busy }
+
+// Owner returns the current holder ("" when idle).
+func (b *Bus) Owner() string { return b.owner }
+
+// TotalWords returns the number of words transferred.
+func (b *Bus) TotalWords() int64 { return b.totalWords }
+
+// WordsByMaster returns the words transferred by one master.
+func (b *Bus) WordsByMaster(master string) int64 { return b.perMaster[master] }
+
+// EnergyJ returns the total bus energy dissipated.
+func (b *Bus) EnergyJ() float64 { return b.energy }

@@ -1,0 +1,262 @@
+package bus
+
+import (
+	"math"
+	"testing"
+
+	"godpm/internal/sim"
+)
+
+func TestTransferDuration(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "bus", DefaultConfig()) // 100 MHz → 10ns/word
+	if got := b.TransferDuration(32); got != 320*sim.Ns {
+		t.Fatalf("TransferDuration(32) = %v, want 320ns", got)
+	}
+	if b.TransferDuration(0) != 0 {
+		t.Fatal("zero words should take no time")
+	}
+}
+
+func TestSingleTransfer(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "bus", DefaultConfig())
+	var waited, done sim.Time
+	k.Thread("m0", func(c *sim.Ctx) {
+		waited = b.Transfer(c, "m0", 100) // 1us
+		done = c.Now()
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if waited != 0 {
+		t.Fatalf("uncontended transfer waited %v", waited)
+	}
+	if done != 1*sim.Us {
+		t.Fatalf("transfer completed at %v, want 1us", done)
+	}
+	if b.TotalWords() != 100 || b.WordsByMaster("m0") != 100 {
+		t.Fatal("word accounting wrong")
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "bus", DefaultConfig())
+	var doneA, doneB sim.Time
+	k.Thread("a", func(c *sim.Ctx) {
+		b.Transfer(c, "a", 100) // holds 0..1us
+		doneA = c.Now()
+	})
+	k.Thread("b", func(c *sim.Ctx) {
+		c.WaitTime(100 * sim.Ns) // arrives mid-transfer
+		w := b.Transfer(c, "b", 100)
+		doneB = c.Now()
+		if w <= 0 {
+			t.Error("contended transfer reported zero wait")
+		}
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if doneA != 1*sim.Us {
+		t.Fatalf("a done at %v", doneA)
+	}
+	if doneB != 2*sim.Us {
+		t.Fatalf("b done at %v, want serialized 2us", doneB)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "bus", DefaultConfig())
+	k.Thread("m", func(c *sim.Ctx) {
+		b.Transfer(c, "m", 100) // busy 1us
+		c.WaitTime(1 * sim.Us)  // idle 1us
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if occ := b.Occupancy(); math.Abs(occ-0.5) > 0.01 {
+		t.Fatalf("Occupancy = %v, want 0.5", occ)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	b := New(k, "bus", cfg)
+	var sunk float64
+	b.OnEnergy(func(j float64) { sunk += j })
+	k.Thread("m", func(c *sim.Ctx) { b.Transfer(c, "m", 1000) })
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 * cfg.EnergyPerWord
+	if math.Abs(b.EnergyJ()-want) > 1e-18 || math.Abs(sunk-want) > 1e-18 {
+		t.Fatalf("energy %v / sunk %v, want %v", b.EnergyJ(), sunk, want)
+	}
+}
+
+func TestQueueLength(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "bus", DefaultConfig())
+	var maxQ int
+	for i := 0; i < 4; i++ {
+		k.Thread("m", func(c *sim.Ctx) {
+			b.Transfer(c, "m", 500)
+		})
+	}
+	k.Method("watch", func() {
+		if b.QueueLength() > maxQ {
+			maxQ = b.QueueLength()
+		}
+	}).Sensitive(b.released).DontInitialize()
+	probe := k.NewEvent("probe")
+	k.Method("p", func() {
+		if b.QueueLength() > maxQ {
+			maxQ = b.QueueLength()
+		}
+		if b.Busy() {
+			probe.Notify(sim.Us)
+		}
+	}).Sensitive(probe)
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if maxQ < 2 {
+		t.Fatalf("max queue length %d, want >= 2 under contention", maxQ)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	k := sim.NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(k, "bus", Config{FreqHz: 0})
+}
+
+func TestZeroWordTransferNoop(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "bus", DefaultConfig())
+	k.Thread("m", func(c *sim.Ctx) {
+		if w := b.Transfer(c, "m", 0); w != 0 {
+			t.Error("zero transfer waited")
+		}
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalWords() != 0 {
+		t.Fatal("zero transfer counted words")
+	}
+}
+
+func TestOwnerReported(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "bus", DefaultConfig())
+	var ownerSeen string
+	k.Thread("m0", func(c *sim.Ctx) { b.Transfer(c, "m0", 1000) })
+	k.Thread("probe", func(c *sim.Ctx) {
+		c.WaitTime(1 * sim.Us)
+		ownerSeen = b.Owner()
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if ownerSeen != "m0" {
+		t.Fatalf("owner %q, want m0", ownerSeen)
+	}
+	if b.Owner() != "" {
+		t.Fatal("owner not cleared after release")
+	}
+}
+
+func TestPriorityArbitration(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Arbitration = PriorityOrder
+	b := New(k, "bus", cfg)
+	var order []string
+	// m0 holds the bus; a low- then a high-priority master queue up while
+	// it transfers. The high-priority one must win despite arriving later.
+	k.Thread("m0", func(c *sim.Ctx) {
+		b.TransferPri(c, "m0", 200, 1) // holds 0..2us
+		order = append(order, "m0")
+	})
+	k.Thread("low", func(c *sim.Ctx) {
+		c.WaitTime(100 * sim.Ns)
+		b.TransferPri(c, "low", 100, 9)
+		order = append(order, "low")
+	})
+	k.Thread("high", func(c *sim.Ctx) {
+		c.WaitTime(200 * sim.Ns) // arrives after "low"
+		b.TransferPri(c, "high", 100, 2)
+		order = append(order, "high")
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m0", "high", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOIgnoresPriority(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "bus", DefaultConfig()) // FIFO
+	var order []string
+	k.Thread("m0", func(c *sim.Ctx) {
+		b.TransferPri(c, "m0", 200, 5)
+		order = append(order, "m0")
+	})
+	k.Thread("first", func(c *sim.Ctx) {
+		c.WaitTime(100 * sim.Ns)
+		b.TransferPri(c, "first", 100, 9) // worse priority, earlier request
+		order = append(order, "first")
+	})
+	k.Thread("second", func(c *sim.Ctx) {
+		c.WaitTime(200 * sim.Ns)
+		b.TransferPri(c, "second", 100, 1)
+		order = append(order, "second")
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m0", "first", "second"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPriorityTieBreaksFIFO(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Arbitration = PriorityOrder
+	b := New(k, "bus", cfg)
+	var order []string
+	k.Thread("m0", func(c *sim.Ctx) { b.TransferPri(c, "m0", 200, 1) })
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		delay := sim.Time(100+len(order)) * sim.Ns
+		k.Thread(name, func(c *sim.Ctx) {
+			c.WaitTime(delay + sim.Time(len(name))) // stagger registrations
+			b.TransferPri(c, name, 10, 3)
+			order = append(order, name)
+		})
+	}
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,99 @@
+// Package core is the high-level façade of godpm, the Go reproduction of
+// "SystemC Analysis of a New Dynamic Power Management Architecture"
+// (M. Conti, DATE 2005). It re-exports the types needed to assemble and run
+// a DPM-managed SoC and the paper's experiments, so applications can depend
+// on a single package:
+//
+//	cfg := core.Config{
+//	    IPs:    []core.IPSpec{{Name: "cpu", Sequence: seq}},
+//	    Policy: core.PolicyDPM,
+//	}
+//	res, err := core.Run(cfg)
+//
+// The underlying packages remain available for fine-grained use:
+// internal/sim (the SystemC-like kernel), internal/acpi (PSM),
+// internal/lem, internal/gem, internal/battery, internal/thermal,
+// internal/rules, internal/workload, internal/bus, internal/policy,
+// internal/soc and internal/experiments.
+package core
+
+import (
+	"godpm/internal/experiments"
+	"godpm/internal/rules"
+	"godpm/internal/soc"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Re-exported configuration and result types.
+type (
+	// Config describes a complete SoC simulation.
+	Config = soc.Config
+	// IPSpec describes one IP block.
+	IPSpec = soc.IPSpec
+	// Result carries measurements of one run.
+	Result = soc.Result
+	// BatteryConfig selects the battery model.
+	BatteryConfig = soc.BatteryConfig
+	// LEMOptions tunes the local energy managers.
+	LEMOptions = soc.LEMOptions
+	// Scenario is one of the paper's experiments.
+	Scenario = experiments.Scenario
+	// Row is one measured Table 2 line.
+	Row = experiments.Row
+	// Tuning sets experiment-wide workload knobs.
+	Tuning = experiments.Tuning
+)
+
+// Policy kinds.
+const (
+	PolicyDPM      = soc.PolicyDPM
+	PolicyAlwaysOn = soc.PolicyAlwaysOn
+	PolicyTimeout  = soc.PolicyTimeout
+	PolicyGreedy   = soc.PolicyGreedy
+	PolicyOracle   = soc.PolicyOracle
+)
+
+// Run simulates the configured SoC.
+func Run(cfg Config) (*Result, error) { return soc.Run(cfg) }
+
+// DefaultBattery returns the experiments' battery at the given state of
+// charge.
+func DefaultBattery(initialSoC float64) BatteryConfig { return soc.DefaultBattery(initialSoC) }
+
+// Scenarios returns the paper's six Table 2 experiments.
+func Scenarios(t Tuning) []Scenario { return experiments.All(t) }
+
+// Extensions returns the beyond-the-paper scenarios (per-IP thermal
+// network, open-loop arrivals, regulator losses).
+func Extensions(t Tuning) []Scenario { return experiments.Extensions(t) }
+
+// ScenarioByID returns one named experiment (A1..A4, B, C).
+func ScenarioByID(id string, t Tuning) (Scenario, error) { return experiments.ByID(id, t) }
+
+// DefaultTuning returns the experiment knobs used in EXPERIMENTS.md.
+func DefaultTuning() Tuning { return experiments.DefaultTuning() }
+
+// RunScenario executes a scenario and its always-on baseline and computes
+// the Table 2 row.
+func RunScenario(s Scenario) (Row, error) { return experiments.RunScenario(s) }
+
+// Baseline derives the always-on reference configuration of a scenario.
+func Baseline(s Scenario) Config { return experiments.Baseline(s) }
+
+// FormatTable2 renders measured rows next to the paper's numbers.
+func FormatTable2(rows []Row) string { return experiments.FormatTable2(rows) }
+
+// Topology renders a scenario's Fig. 1 component graph.
+func Topology(s Scenario) string { return experiments.Topology(s) }
+
+// Table1 returns the paper's power-state selection policy (completed with
+// the documented default; see DESIGN.md).
+func Table1() *rules.Table { return rules.Table1() }
+
+// Table1DSL is the same policy in the natural-language rule form.
+const Table1DSL = rules.Table1DSL
+
+// ParseRules parses a policy script in the natural-language rule form.
+func ParseRules(script string) (*rules.Table, error) { return rules.Parse(script) }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"godpm/internal/workload"
+)
+
+func TestRunThroughFacade(t *testing.T) {
+	seq := workload.HighActivity(9, 10).MustGenerate()
+	res, err := Run(Config{
+		IPs:     []IPSpec{{Name: "cpu", Sequence: seq}},
+		Policy:  PolicyDPM,
+		Battery: DefaultBattery(0.95),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.TasksDone != 10 {
+		t.Fatalf("Completed=%v TasksDone=%d", res.Completed, res.TasksDone)
+	}
+}
+
+func TestScenarioAccess(t *testing.T) {
+	tn := DefaultTuning()
+	if got := len(Scenarios(tn)); got != 6 {
+		t.Fatalf("Scenarios = %d, want 6", got)
+	}
+	s, err := ScenarioByID("A1", tn)
+	if err != nil || s.ID != "A1" {
+		t.Fatalf("ScenarioByID = %v,%v", s.ID, err)
+	}
+	base := Baseline(s)
+	if base.Policy != PolicyAlwaysOn {
+		t.Fatal("Baseline policy wrong")
+	}
+	if out := Topology(s); !strings.Contains(out, "PSM") {
+		t.Fatalf("Topology output: %q", out)
+	}
+}
+
+func TestTable1Facade(t *testing.T) {
+	tbl := Table1()
+	if !tbl.Total() {
+		t.Fatal("Table1 not total")
+	}
+	parsed, err := ParseRules(Table1DSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != tbl.Len() {
+		t.Fatalf("parsed %d rules, want %d", parsed.Len(), tbl.Len())
+	}
+	if _, err := ParseRules("nonsense"); err == nil {
+		t.Fatal("bad script accepted")
+	}
+}
+
+func TestFormatTable2Facade(t *testing.T) {
+	out := FormatTable2([]Row{{ID: "A1"}})
+	if !strings.Contains(out, "A1") || !strings.Contains(out, "Energy saving") {
+		t.Fatalf("FormatTable2 output: %q", out)
+	}
+}
+
+func TestVersionSet(t *testing.T) {
+	if Version == "" {
+		t.Fatal("empty version")
+	}
+}

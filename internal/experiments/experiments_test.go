@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"godpm/internal/soc"
+)
+
+// quickTuning keeps unit-test runtime low; the benchmarks use DefaultTuning.
+func quickTuning() Tuning {
+	t := DefaultTuning()
+	t.NumTasks = 40
+	return t
+}
+
+func TestAllScenarioIDs(t *testing.T) {
+	want := []string{"A1", "A2", "A3", "A4", "B", "C"}
+	all := All(DefaultTuning())
+	if len(all) != len(want) {
+		t.Fatalf("got %d scenarios", len(all))
+	}
+	for i, s := range all {
+		if s.ID != want[i] {
+			t.Errorf("scenario %d = %q, want %q", i, s.ID, want[i])
+		}
+		if s.Description == "" {
+			t.Errorf("%s has no description", s.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	s, err := ByID("B", DefaultTuning())
+	if err != nil || s.ID != "B" {
+		t.Fatalf("ByID(B) = %v,%v", s.ID, err)
+	}
+	if _, err := ByID("Z9", DefaultTuning()); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestScenarioStructure(t *testing.T) {
+	tn := DefaultTuning()
+	for _, s := range []Scenario{A1(tn), A2(tn), A3(tn), A4(tn)} {
+		if len(s.Config.IPs) != 1 || s.Config.UseGEM {
+			t.Errorf("%s: single-IP scenario misconfigured", s.ID)
+		}
+	}
+	for _, s := range []Scenario{B(tn), C(tn)} {
+		if len(s.Config.IPs) != 4 || !s.Config.UseGEM {
+			t.Errorf("%s: multi-IP scenario misconfigured", s.ID)
+		}
+		for i, spec := range s.Config.IPs {
+			if spec.StaticPriority != i+1 {
+				t.Errorf("%s: IP %d priority %d", s.ID, i, spec.StaticPriority)
+			}
+		}
+	}
+	// B gives the high-activity workloads to the high-priority IPs; C
+	// inverts that. High activity = less total idle.
+	b, c := B(tn), C(tn)
+	bIdle1 := b.Config.IPs[0].Sequence.TotalIdle()
+	bIdle4 := b.Config.IPs[3].Sequence.TotalIdle()
+	if bIdle1 >= bIdle4 {
+		t.Errorf("B: IP1 idle %v not below IP4 idle %v", bIdle1, bIdle4)
+	}
+	cIdle1 := c.Config.IPs[0].Sequence.TotalIdle()
+	cIdle4 := c.Config.IPs[3].Sequence.TotalIdle()
+	if cIdle1 <= cIdle4 {
+		t.Errorf("C: IP1 idle %v not above IP4 idle %v", cIdle1, cIdle4)
+	}
+}
+
+func TestBaselineDerivation(t *testing.T) {
+	s := B(DefaultTuning())
+	base := Baseline(s)
+	if base.Policy != soc.PolicyAlwaysOn || base.UseGEM {
+		t.Fatal("baseline must be always-on without GEM")
+	}
+	// Same workloads, same environment.
+	if len(base.IPs) != len(s.Config.IPs) {
+		t.Fatal("baseline changed the IP set")
+	}
+	for i := range base.IPs {
+		if len(base.IPs[i].Sequence) != len(s.Config.IPs[i].Sequence) {
+			t.Fatal("baseline changed a workload")
+		}
+	}
+	if base.InitialTempC != s.Config.InitialTempC {
+		t.Fatal("baseline changed the thermal start")
+	}
+	// Deriving the baseline must not mutate the scenario.
+	if s.Config.Policy != soc.PolicyDPM || !s.Config.UseGEM {
+		t.Fatal("Baseline mutated the scenario config")
+	}
+}
+
+func TestPaperTable2Complete(t *testing.T) {
+	for _, s := range All(DefaultTuning()) {
+		if _, ok := PaperTable2[s.ID]; !ok {
+			t.Errorf("PaperTable2 missing %s", s.ID)
+		}
+	}
+	if len(PaperTable2) != 6 {
+		t.Errorf("PaperTable2 has %d rows", len(PaperTable2))
+	}
+}
+
+func TestRunScenarioA1Shape(t *testing.T) {
+	row, err := RunScenario(A1(quickTuning()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.DPM.Completed || !row.Base.Completed {
+		t.Fatal("runs did not complete")
+	}
+	if row.EnergySavingPct <= 0 {
+		t.Fatalf("A1 energy saving %v, want positive", row.EnergySavingPct)
+	}
+	if row.DelayOverheadPct <= 0 || row.DelayOverheadPct > 150 {
+		t.Fatalf("A1 delay overhead %v, want moderate positive", row.DelayOverheadPct)
+	}
+	if row.TempReductionPct <= 0 {
+		t.Fatalf("A1 temp reduction %v, want positive", row.TempReductionPct)
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	// The headline claim: low-battery runs (A2) save much more energy than
+	// full-battery runs (A1) at drastically higher delay; temperature
+	// control stays positive everywhere.
+	tn := quickTuning()
+	a1, err := RunScenario(A1(tn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := RunScenario(A2(tn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.EnergySavingPct <= a1.EnergySavingPct {
+		t.Errorf("A2 saving %v not above A1 %v", a2.EnergySavingPct, a1.EnergySavingPct)
+	}
+	if a2.DelayOverheadPct <= 2*a1.DelayOverheadPct {
+		t.Errorf("A2 delay %v not well above A1 %v", a2.DelayOverheadPct, a1.DelayOverheadPct)
+	}
+	if a2.DelayOverheadPct < 200 {
+		t.Errorf("A2 delay %v, want the ≈300%% ON4 signature", a2.DelayOverheadPct)
+	}
+}
+
+func TestScenarioBRunsWithGEM(t *testing.T) {
+	// The GEM's hold-back of low-priority IPs needs the battery to be
+	// pinned at the Low/Medium boundary, which takes a longer run than the
+	// other tests: 80 tasks per IP.
+	tn := DefaultTuning()
+	tn.NumTasks = 80
+	row, err := RunScenario(B(tn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.DPM.Completed {
+		t.Fatal("B did not complete")
+	}
+	if row.DPM.GEMEvaluations == 0 {
+		t.Fatal("GEM never evaluated in B")
+	}
+	if row.EnergySavingPct < 30 {
+		t.Fatalf("B saving %v, want the large multi-IP saving", row.EnergySavingPct)
+	}
+	// Low-priority IPs must actually have been held back at least once.
+	parked := 0
+	for _, st := range row.DPM.LEMStats {
+		parked += st.ParkEvents
+	}
+	if parked == 0 {
+		t.Fatal("no IP was ever parked in B")
+	}
+}
+
+func TestFormatTable2(t *testing.T) {
+	rows := []Row{{ID: "A1", EnergySavingPct: 40.7, TempReductionPct: 11.7, DelayOverheadPct: 38.7}}
+	out := FormatTable2(rows)
+	for _, want := range []string{"A1", "Energy saving", "paper", "measured", "40.7", "39"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopology(t *testing.T) {
+	out := Topology(B(DefaultTuning()))
+	for _, want := range []string{"GEM", "battery", "thermal", "BUS", "ip1", "ip4", "PSM", "LEM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Topology missing %q:\n%s", want, out)
+		}
+	}
+	single := Topology(A1(DefaultTuning()))
+	if strings.Contains(single, "GEM") {
+		t.Error("single-IP topology should not mention a GEM")
+	}
+}
+
+func TestScenariosAreDeterministic(t *testing.T) {
+	tn := quickTuning()
+	r1, err := RunScenario(A2(tn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunScenario(A2(tn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.EnergySavingPct != r2.EnergySavingPct || r1.DelayOverheadPct != r2.DelayOverheadPct {
+		t.Fatalf("non-deterministic rows: %+v vs %+v", r1, r2)
+	}
+}

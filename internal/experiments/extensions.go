@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"godpm/internal/power"
+	"godpm/internal/soc"
+	"godpm/internal/workload"
+)
+
+// defaultRegulator builds the converter model the regulator extension uses.
+func defaultRegulator() *power.Regulator { return power.DefaultRegulator() }
+
+// Extensions returns scenarios beyond the paper's six, exercising the
+// features the paper sketches but does not evaluate:
+//
+//   - "B-perip": scenario B with one thermal node per IP on a shared
+//     spreader (each LEM sees its own sensor, the GEM the hottest node);
+//   - "B-openloop": scenario B with open-loop service-request arrivals
+//     (queues build when the GEM throttles low-priority IPs);
+//   - "A1-regulator": scenario A1 with the DC-DC converter between battery
+//     and SoC (the battery sees the converter's losses).
+func Extensions(t Tuning) []Scenario {
+	return []Scenario{BPerIP(t), BOpenLoop(t), A1Regulator(t)}
+}
+
+// BPerIP is scenario B with the per-IP thermal network.
+func BPerIP(t Tuning) Scenario {
+	s := B(t)
+	s.ID = "B-perip"
+	s.Description = s.Description + " (per-IP thermal network)"
+	s.Config.PerIPThermal = true
+	return s
+}
+
+// BOpenLoop is scenario B with open-loop arrivals: the same per-IP offered
+// load, but service requests keep arriving regardless of the IP's state.
+func BOpenLoop(t Tuning) Scenario {
+	s := B(t)
+	s.ID = "B-openloop"
+	s.Description = s.Description + " (open-loop arrivals)"
+	for i := range s.Config.IPs {
+		spec := &s.Config.IPs[i]
+		var prof workload.Profile
+		if i < 2 {
+			prof = workload.HighActivity(t.Seed+int64(i), t.NumTasks)
+		} else {
+			prof = workload.LowActivity(t.Seed+int64(i), t.NumTasks)
+		}
+		prof = mixedPriorities(prof)
+		spec.Sequence = nil
+		// Offered load sized to the ON4 service rate: with battery Low the
+		// whole SoC runs at ON4, and a faster arrival process would grow
+		// the queues without bound (the IPs would never idle, so the KiBaM
+		// recovery that re-enables low-priority IPs could never happen).
+		spec.Arrivals = prof.MustGenerateArrivals(power.DefaultProfile().On[3].FreqHz)
+	}
+	return s
+}
+
+// A1Regulator is scenario A1 with the default DC-DC converter model.
+func A1Regulator(t Tuning) Scenario {
+	s := A1(t)
+	s.ID = "A1-regulator"
+	s.Description = s.Description + " (with DC-DC regulator losses)"
+	s.Config.Regulator = defaultRegulator()
+	return s
+}
+
+// ExtensionByID returns the named extension scenario.
+func ExtensionByID(id string, t Tuning) (Scenario, error) {
+	for _, s := range Extensions(t) {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("experiments: unknown extension %q", id)
+}
+
+// Ablation is one design-choice study: variants of a base scenario that
+// differ in exactly one knob.
+type Ablation struct {
+	Name     string
+	Variants []AblationVariant
+}
+
+// AblationVariant is one point of an ablation.
+type AblationVariant struct {
+	Label  string
+	Config soc.Config
+}
+
+// Ablations returns the studies DESIGN.md calls out, built over the given
+// tuning:
+//
+//   - "predictor": EWMA vs last-value vs perfect vs adaptive vs quantile
+//     idle prediction (on A1);
+//   - "breakeven": break-even-gated vs always-deepest sleep (on A1);
+//   - "battery": KiBaM vs linear battery (on B — the recovery effect);
+//   - "gem": with vs without global management (on B).
+func Ablations(t Tuning) []Ablation {
+	var out []Ablation
+
+	pred := Ablation{Name: "predictor"}
+	for _, kind := range []soc.PredictorKind{
+		soc.PredictorEWMA, soc.PredictorLast, soc.PredictorPerfect,
+		soc.PredictorAdaptive, soc.PredictorQuantile,
+	} {
+		cfg := A1(t).Config
+		cfg.LEM.Predictor = kind
+		pred.Variants = append(pred.Variants, AblationVariant{Label: string(kind), Config: cfg})
+	}
+	out = append(out, pred)
+
+	be := Ablation{Name: "breakeven"}
+	for _, gated := range []bool{true, false} {
+		cfg := A1(t).Config
+		cfg.LEM.DisableBreakEven = !gated
+		label := "gated"
+		if !gated {
+			label = "ungated"
+		}
+		be.Variants = append(be.Variants, AblationVariant{Label: label, Config: cfg})
+	}
+	out = append(out, be)
+
+	batt := Ablation{Name: "battery"}
+	kibam := B(t).Config
+	linear := B(t).Config
+	linear.Battery = soc.BatteryConfig{
+		Kind: "linear", CapacityJ: linear.Battery.CapacityJ, InitialSoC: linear.Battery.InitialSoC,
+	}
+	batt.Variants = []AblationVariant{
+		{Label: "kibam", Config: kibam},
+		{Label: "linear", Config: linear},
+	}
+	out = append(out, batt)
+
+	gemAb := Ablation{Name: "gem"}
+	withGem := B(t).Config
+	withoutGem := B(t).Config
+	withoutGem.UseGEM = false
+	gemAb.Variants = []AblationVariant{
+		{Label: "with", Config: withGem},
+		{Label: "without", Config: withoutGem},
+	}
+	out = append(out, gemAb)
+
+	return out
+}

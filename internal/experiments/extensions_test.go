@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"testing"
+
+	"godpm/internal/soc"
+)
+
+func TestExtensionsListAndLookup(t *testing.T) {
+	tn := DefaultTuning()
+	exts := Extensions(tn)
+	if len(exts) != 3 {
+		t.Fatalf("got %d extensions", len(exts))
+	}
+	for _, s := range exts {
+		if s.Description == "" {
+			t.Errorf("%s: empty description", s.ID)
+		}
+		if _, err := ExtensionByID(s.ID, tn); err != nil {
+			t.Errorf("ExtensionByID(%s): %v", s.ID, err)
+		}
+	}
+	if _, err := ExtensionByID("nope", tn); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}
+
+func TestBPerIPRuns(t *testing.T) {
+	tn := quickTuning()
+	row, err := RunScenario(BPerIP(tn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.DPM.Completed {
+		t.Fatal("B-perip did not complete")
+	}
+	if row.EnergySavingPct <= 0 {
+		t.Fatalf("saving %v", row.EnergySavingPct)
+	}
+}
+
+func TestBOpenLoopRuns(t *testing.T) {
+	tn := quickTuning()
+	s := BOpenLoop(tn)
+	for _, spec := range s.Config.IPs {
+		if len(spec.Sequence) != 0 || len(spec.Arrivals) == 0 {
+			t.Fatal("open-loop conversion incomplete")
+		}
+	}
+	row, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.DPM.Completed {
+		t.Fatal("B-openloop did not complete")
+	}
+	// Open-loop queueing makes the delay overhead at least as large as a
+	// trivial floor.
+	if row.DelayOverheadPct <= 0 {
+		t.Fatalf("delay overhead %v", row.DelayOverheadPct)
+	}
+}
+
+func TestA1RegulatorDrainsMore(t *testing.T) {
+	tn := quickTuning()
+	plain, err := RunScenario(A1(tn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := RunScenario(A1Regulator(tn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.DPM.FinalSoC >= plain.DPM.FinalSoC {
+		t.Fatalf("regulator losses missing: %v vs %v", reg.DPM.FinalSoC, plain.DPM.FinalSoC)
+	}
+}
+
+func TestAblationsWellFormed(t *testing.T) {
+	tn := DefaultTuning()
+	abls := Ablations(tn)
+	want := map[string]int{"predictor": 5, "breakeven": 2, "battery": 2, "gem": 2}
+	if len(abls) != len(want) {
+		t.Fatalf("got %d ablations", len(abls))
+	}
+	for _, a := range abls {
+		n, ok := want[a.Name]
+		if !ok {
+			t.Errorf("unexpected ablation %q", a.Name)
+			continue
+		}
+		if len(a.Variants) != n {
+			t.Errorf("%s has %d variants, want %d", a.Name, len(a.Variants), n)
+		}
+		for _, v := range a.Variants {
+			if v.Label == "" || len(v.Config.IPs) == 0 {
+				t.Errorf("%s: malformed variant %+v", a.Name, v.Label)
+			}
+		}
+	}
+}
+
+func TestAblationVariantsRunnable(t *testing.T) {
+	// One cheap variant per ablation actually executes.
+	tn := quickTuning()
+	tn.NumTasks = 10
+	for _, a := range Ablations(tn) {
+		v := a.Variants[len(a.Variants)-1]
+		res, err := soc.Run(v.Config)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", a.Name, v.Label, err)
+		}
+		if res.TasksDone == 0 {
+			t.Fatalf("%s/%s: nothing ran", a.Name, v.Label)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package ip implements the functional IP block: a traffic generator (as in
+// the paper's evaluation) that walks a workload sequence, requests
+// permission from its energy manager before each task, executes the task at
+// the granted operating point, and reports idleness back so the manager can
+// power it down. Execution power is metered exactly and every task is
+// recorded in the delay ledger.
+package ip
+
+import (
+	"godpm/internal/acpi"
+	"godpm/internal/bus"
+	"godpm/internal/power"
+	"godpm/internal/sim"
+	"godpm/internal/stats"
+	"godpm/internal/task"
+	"godpm/internal/workload"
+)
+
+// Manager is the energy-management interface the IP talks to: the paper's
+// LEM, or one of the baseline policies.
+type Manager interface {
+	// AcquireOn blocks until the IP may execute t and returns the
+	// operating point to run at.
+	AcquireOn(c *sim.Ctx, t task.Task) power.OperatingPoint
+	// ReleaseIdle tells the manager the IP just became idle. hint is the
+	// actual upcoming idle duration (known to traffic generators); honest
+	// managers ignore it — except for the sentinel sim.MaxTime, which
+	// means "no further work ever" and asks for the deepest power-down.
+	ReleaseIdle(c *sim.Ctx, hint sim.Time)
+}
+
+// Config assembles one IP block.
+type Config struct {
+	Name    string
+	Profile *power.Profile
+	// Sequence is the closed-loop workload to execute (the paper's model:
+	// run a task, then idle for a gap). Mutually exclusive with Arrivals.
+	Sequence workload.Sequence
+	// Arrivals is the open-loop workload: service requests with absolute
+	// arrival times that queue up when the IP runs slowly.
+	Arrivals workload.ArrivalSequence
+	// Manager grants execution; required.
+	Manager Manager
+	// PSM is the IP's power state machine (for residual-power metering).
+	PSM *acpi.PSM
+	// Meter receives the IP's power level; required.
+	Meter *stats.EnergyMeter
+	// Ledger records task timings; required.
+	Ledger *stats.Ledger
+	// Bus, when non-nil, delivers each task's service request as a
+	// BusWords-word transaction before the task may start. BusPriority
+	// orders contending masters when the bus arbitrates by priority.
+	Bus         *bus.Bus
+	BusWords    int
+	BusPriority int
+}
+
+// IP is the functional block component.
+type IP struct {
+	cfg       Config
+	k         *sim.Kernel
+	executing bool
+	tasksDone int
+	finished  bool
+	doneEv    *sim.Event
+}
+
+// New creates the IP and registers its thread process on the kernel.
+func New(k *sim.Kernel, cfg Config) *IP {
+	if cfg.Manager == nil || cfg.Meter == nil || cfg.Ledger == nil || cfg.PSM == nil {
+		panic("ip: Manager, PSM, Meter and Ledger are required")
+	}
+	if (len(cfg.Sequence) > 0) == (len(cfg.Arrivals) > 0) {
+		panic("ip: exactly one of Sequence and Arrivals must be set")
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = power.DefaultProfile()
+	}
+	b := &IP{cfg: cfg, k: k, doneEv: k.NewEvent(cfg.Name + ".done")}
+
+	// Residual power tracking: whenever the PSM lands in a new state while
+	// the IP is not executing, the meter follows the state's power.
+	k.Method(cfg.Name+".power", func() {
+		if !b.executing {
+			b.cfg.Meter.SetPower(b.cfg.PSM.StatePower())
+		}
+	}).Sensitive(cfg.PSM.StateSignal().Changed()).DontInitialize()
+
+	// Transition energy goes to the same meter as discrete quanta.
+	cfg.PSM.OnEnergy(cfg.Meter.AddEnergy)
+
+	k.Thread(cfg.Name+".thread", b.run)
+	return b
+}
+
+// run dispatches to the configured workload mode.
+func (b *IP) run(c *sim.Ctx) {
+	b.cfg.Meter.SetPower(b.cfg.PSM.StatePower())
+	if len(b.cfg.Sequence) > 0 {
+		b.runClosedLoop(c)
+	} else {
+		b.runOpenLoop(c)
+	}
+	// Final release: no further work will ever arrive. The sim.MaxTime
+	// hint tells the manager to power the IP down as deeply as it can
+	// (otherwise a finished IP would burn ON-idle power for the rest of
+	// the simulation, starving the battery for everyone else).
+	b.cfg.Manager.ReleaseIdle(c, sim.MaxTime)
+	b.finished = true
+	b.doneEv.NotifyDelta()
+}
+
+// runClosedLoop walks the Sequence: execute, then idle for the item's gap.
+func (b *IP) runClosedLoop(c *sim.Ctx) {
+	for _, item := range b.cfg.Sequence {
+		b.executeTask(c, item.Task, c.Now())
+		b.cfg.Manager.ReleaseIdle(c, item.IdleAfter)
+		if item.IdleAfter > 0 {
+			c.WaitTime(item.IdleAfter)
+		}
+	}
+}
+
+// runOpenLoop serves the Arrivals: when the next request is in the future
+// the IP goes idle until it arrives; when the IP falls behind, requests
+// queue and are served back-to-back (the service time then includes the
+// queueing delay).
+func (b *IP) runOpenLoop(c *sim.Ctx) {
+	for i, a := range b.cfg.Arrivals {
+		if wait := a.At - c.Now(); wait > 0 {
+			b.cfg.Manager.ReleaseIdle(c, wait)
+			c.WaitTime(wait)
+		}
+		b.executeTask(c, a.Task, a.At)
+		// Hint at the remaining slack before the next arrival (0 when
+		// already behind), so predictive managers see the queue pressure.
+		if i+1 < len(b.cfg.Arrivals) {
+			if slack := b.cfg.Arrivals[i+1].At - c.Now(); slack <= 0 {
+				continue // next request already pending: no idle period
+			}
+		}
+	}
+}
+
+// executeTask performs the bus handshake, manager acquisition and the timed
+// execution of one task, recording it in the ledger. request is the
+// service-time origin (arrival time for open-loop, readiness time for
+// closed-loop).
+func (b *IP) executeTask(c *sim.Ctx, t task.Task, request sim.Time) {
+	prof := b.cfg.Profile
+
+	// The service request arrives over the bus (Fig. 1).
+	if b.cfg.Bus != nil && b.cfg.BusWords > 0 {
+		b.cfg.Bus.TransferPri(c, b.cfg.Name, b.cfg.BusWords, b.cfg.BusPriority)
+	}
+
+	op := b.cfg.Manager.AcquireOn(c, t)
+	start := c.Now()
+
+	// Execute: active power for the task's instruction class.
+	b.executing = true
+	pActive := prof.InstrWeight[t.Class]*prof.DynamicPower(op) + prof.LeakagePower(op.Vdd)
+	b.cfg.Meter.SetPower(pActive)
+	c.WaitTime(prof.TaskDuration(t.Instructions, op))
+	b.executing = false
+	b.cfg.Meter.SetPower(b.cfg.PSM.StatePower())
+
+	b.cfg.Ledger.Add(stats.TaskRecord{
+		IP:      b.cfg.Name,
+		TaskID:  t.ID,
+		Request: request,
+		Start:   start,
+		Done:    c.Now(),
+		State:   b.cfg.PSM.State().String(),
+	})
+	b.tasksDone++
+}
+
+// Name returns the IP name.
+func (b *IP) Name() string { return b.cfg.Name }
+
+// TasksDone returns the number of completed tasks.
+func (b *IP) TasksDone() int { return b.tasksDone }
+
+// Finished reports whether the whole sequence completed.
+func (b *IP) Finished() bool { return b.finished }
+
+// Done fires (delta-notified) when the sequence completes.
+func (b *IP) Done() *sim.Event { return b.doneEv }
+
+// Executing reports whether a task is currently running.
+func (b *IP) Executing() bool { return b.executing }

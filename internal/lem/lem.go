@@ -1,0 +1,282 @@
+package lem
+
+import (
+	"fmt"
+
+	"godpm/internal/acpi"
+	"godpm/internal/battery"
+	"godpm/internal/gem"
+	"godpm/internal/power"
+	"godpm/internal/rules"
+	"godpm/internal/sim"
+	"godpm/internal/task"
+	"godpm/internal/thermal"
+)
+
+// Config parameterises a LEM.
+type Config struct {
+	// Table is the power-state selection policy (default: rules.Table1).
+	Table *rules.Table
+	// Predictor estimates idle durations (default: EWMA 0.5).
+	Predictor Predictor
+	// BreakEvenGating, when true (the default via NewConfig), only enters
+	// a sleep state if the predicted idle time exceeds its break-even
+	// time; when false the LEM always picks the deepest allowed state —
+	// the ablation benchmarks quantify the difference.
+	BreakEvenGating bool
+	// AllowSoftOff permits the soft-off state as an idle target.
+	AllowSoftOff bool
+}
+
+// NewConfig returns the defaults used in the experiments.
+func NewConfig() Config {
+	return Config{
+		Table:           rules.Table1(),
+		Predictor:       NewEWMA(0.5),
+		BreakEvenGating: true,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Table == nil {
+		c.Table = rules.Table1()
+	}
+	if c.Predictor == nil {
+		c.Predictor = NewEWMA(0.5)
+	}
+}
+
+// Stats aggregates the LEM's decisions for reports and tests.
+type Stats struct {
+	// OnDecisions counts tasks executed per ON state name.
+	OnDecisions map[string]int
+	// SleepEntries counts idle periods per sleep state name ("" = stayed
+	// in the ON state because no sleep paid off).
+	SleepEntries map[string]int
+	// ParkEvents counts times a task was parked (policy selected a sleep
+	// state or the GEM disabled the IP) before eventually executing.
+	ParkEvents int
+	// ParkedTime totals time spent parked while a task was pending.
+	ParkedTime sim.Time
+}
+
+// LEM is the local energy manager of one IP block.
+type LEM struct {
+	k    *sim.Kernel
+	name string
+	psm  *acpi.PSM
+	pack *battery.Pack
+	node thermal.Source
+	cfg  Config
+
+	// Optional GEM attachment.
+	gem   *gem.GEM
+	gemID int
+
+	idleSince   sim.Time
+	idleValid   bool
+	lastPredict sim.Time
+
+	stats Stats
+}
+
+// New creates a LEM controlling psm, observing the battery pack and thermal
+// node. Attach a GEM with AttachGEM before the simulation starts.
+func New(k *sim.Kernel, name string, psm *acpi.PSM, pack *battery.Pack, node thermal.Source, cfg Config) *LEM {
+	cfg.fillDefaults()
+	return &LEM{
+		k: k, name: name, psm: psm, pack: pack, node: node, cfg: cfg,
+		stats: Stats{OnDecisions: map[string]int{}, SleepEntries: map[string]int{}},
+	}
+}
+
+// AttachGEM puts the LEM under global control: tasks execute only while the
+// GEM enables this IP.
+func (l *LEM) AttachGEM(g *gem.GEM, id int) {
+	l.gem = g
+	l.gemID = id
+}
+
+// Name returns the LEM name.
+func (l *LEM) Name() string { return l.name }
+
+// Stats returns the decision statistics collected so far.
+func (l *LEM) Stats() Stats { return l.stats }
+
+// PSM returns the controlled power state machine.
+func (l *LEM) PSM() *acpi.PSM { return l.psm }
+
+// Predictor returns the configured idle predictor.
+func (l *LEM) Predictor() Predictor { return l.cfg.Predictor }
+
+// AcquireOn is called by the IP thread when a task is ready to execute. It
+// blocks until the PSM reaches the ON state the policy selects for the task
+// under the current (and predicted end-of-task) battery and temperature
+// classes, and returns that operating point. When the policy selects a
+// sleep state (empty battery, overheated chip) or the GEM has disabled the
+// IP, the task is parked until conditions change.
+func (l *LEM) AcquireOn(c *sim.Ctx, t task.Task) power.OperatingPoint {
+	// Close the idle-period observation for the predictor.
+	if l.idleValid {
+		l.cfg.Predictor.Observe(c.Now() - l.idleSince)
+		l.idleValid = false
+	}
+	if l.gem != nil {
+		l.gem.NotifyRequest(l.gemID)
+	}
+	parkedAt := sim.Time(-1)
+	for {
+		if l.gem != nil && !l.gem.Enabled(l.gemID) {
+			// Forced to Sleep1 by the GEM while disabled.
+			parkedAt = l.parkIn(c, acpi.SL1, parkedAt)
+			c.WaitAny(l.gem.Changed(), l.pack.StatusSignal().Changed(), l.node.ClassSignal().Changed())
+			continue
+		}
+		state := l.selectState(t)
+		if !state.IsOn() {
+			// Policy says sleep (battery empty / chip hot): park and wait
+			// for a class change.
+			parkedAt = l.parkIn(c, state, parkedAt)
+			evs := []*sim.Event{l.pack.StatusSignal().Changed(), l.node.ClassSignal().Changed()}
+			if l.gem != nil {
+				evs = append(evs, l.gem.Changed())
+			}
+			c.WaitAny(evs...)
+			continue
+		}
+		if parkedAt >= 0 {
+			l.stats.ParkedTime += c.Now() - parkedAt
+		}
+		l.transition(c, state)
+		l.stats.OnDecisions[state.String()]++
+		return l.psm.Profile().On[state.OnIndex()]
+	}
+}
+
+// selectState runs the Table 1 policy with the LEM's end-of-task
+// prediction: a first pass with the current classes picks a candidate ON
+// state; the battery and temperature classes are then predicted at the end
+// of the task executed in that state (folding in the other IPs' power when
+// a GEM is attached) and the policy is re-evaluated with the predicted
+// classes.
+func (l *LEM) selectState(t task.Task) acpi.State {
+	battNow := l.pack.Status()
+	tempNow := l.node.Class()
+	state, _, ok := l.cfg.Table.Select(t.Priority, battNow, tempNow)
+	if !ok {
+		panic(fmt.Sprintf("lem: %s: policy table not total", l.name))
+	}
+	if !state.IsOn() {
+		return state
+	}
+	prof := l.psm.Profile()
+	op := prof.On[state.OnIndex()]
+	dur := prof.TaskDuration(t.Instructions, op)
+	pSelf := prof.InstrWeight[t.Class]*prof.DynamicPower(op) + prof.LeakagePower(op.Vdd)
+	pTotal := pSelf
+	if l.gem != nil {
+		pTotal += l.gem.OtherPower(l.gemID)
+	}
+	battEnd := l.pack.PredictStatus(pTotal, dur)
+	tempEnd := l.node.PredictClass(pTotal, dur)
+	refined, _, ok := l.cfg.Table.Select(t.Priority, battEnd, tempEnd)
+	if !ok {
+		panic(fmt.Sprintf("lem: %s: policy table not total", l.name))
+	}
+	if refined.IsOn() {
+		return refined
+	}
+	// Prediction guard: the *current* classes permit execution; parking on
+	// a merely *predicted* degradation would deadlock (nothing changes
+	// while the IP is parked, so the prediction never improves). Instead
+	// the task runs in the most frugal execution state, which minimises
+	// the predicted drift.
+	return acpi.ON4
+}
+
+// parkIn moves the PSM to the given sleep state (if not already there) and
+// returns the park start time (unchanged if already parked).
+func (l *LEM) parkIn(c *sim.Ctx, state acpi.State, parkedAt sim.Time) sim.Time {
+	if parkedAt < 0 {
+		parkedAt = c.Now()
+		l.stats.ParkEvents++
+	}
+	if l.psm.State() != state && !l.psm.Transitioning().Read() {
+		l.transition(c, state)
+	}
+	return parkedAt
+}
+
+// transition requests a PSM transition and blocks until it completes.
+func (l *LEM) transition(c *sim.Ctx, target acpi.State) {
+	for l.psm.Transitioning().Read() {
+		c.Wait(l.psm.Done())
+	}
+	if l.psm.State() == target {
+		return
+	}
+	if _, err := l.psm.Request(target); err != nil {
+		panic(fmt.Sprintf("lem: %s: %v", l.name, err))
+	}
+	c.Wait(l.psm.Done())
+}
+
+// ReleaseIdle is called by the IP thread when it becomes inactive. The LEM
+// predicts the idle duration and moves the PSM into the deepest sleep (or
+// off) state whose break-even time the prediction exceeds; with no
+// profitable state the IP stays clocked in its current ON state. hint is
+// the actual upcoming idle time, consumed only by the Perfect predictor.
+func (l *LEM) ReleaseIdle(c *sim.Ctx, hint sim.Time) {
+	if hint == sim.MaxTime {
+		// "No further work ever": skip the predictor (there is no next
+		// idle period to learn for) and power down as deeply as allowed.
+		l.idleValid = false
+		if target, ok := l.chooseSleep(sim.MaxTime); ok {
+			l.transition(c, target)
+			l.stats.SleepEntries[target.String()]++
+		}
+		return
+	}
+	l.idleSince = c.Now()
+	l.idleValid = true
+	predicted := l.cfg.Predictor.Predict(hint)
+	l.lastPredict = predicted
+
+	target, ok := l.chooseSleep(predicted)
+	if !ok {
+		l.stats.SleepEntries[""]++
+		return
+	}
+	l.transition(c, target)
+	l.stats.SleepEntries[target.String()]++
+}
+
+// chooseSleep returns the deepest allowed sleep state whose break-even time
+// is within the predicted idle duration.
+func (l *LEM) chooseSleep(predicted sim.Time) (acpi.State, bool) {
+	prof := l.psm.Profile()
+	var pIdle float64
+	if s := l.psm.State(); s.IsOn() {
+		pIdle = prof.IdlePower(prof.On[s.OnIndex()])
+	} else {
+		// Already asleep (e.g. GEM parked us): nothing to do.
+		return 0, false
+	}
+	deepest := 3 // SL4
+	if l.cfg.AllowSoftOff {
+		deepest = 4
+	}
+	if !l.cfg.BreakEvenGating {
+		return acpi.SleepStateByIndex(deepest), true
+	}
+	for i := deepest; i >= 0; i-- {
+		tbe, ok := prof.BreakEven(pIdle, prof.Sleep[i])
+		if ok && predicted >= tbe {
+			return acpi.SleepStateByIndex(i), true
+		}
+	}
+	return 0, false
+}
+
+// LastPrediction returns the most recent idle-time prediction (for tests).
+func (l *LEM) LastPrediction() sim.Time { return l.lastPredict }

@@ -1,0 +1,108 @@
+package lem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"godpm/internal/sim"
+)
+
+func TestLastValuePredictor(t *testing.T) {
+	var p LastValue
+	if p.Predict(99*sim.Ms) != 0 {
+		t.Fatal("unseen last-value predictor should predict 0")
+	}
+	p.Observe(5 * sim.Ms)
+	if p.Predict(0) != 5*sim.Ms {
+		t.Fatalf("Predict = %v, want 5ms", p.Predict(0))
+	}
+	p.Observe(7 * sim.Ms)
+	if p.Predict(0) != 7*sim.Ms {
+		t.Fatalf("Predict = %v, want 7ms", p.Predict(0))
+	}
+	if p.Name() != "last-value" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestEWMAPredictor(t *testing.T) {
+	p := NewEWMA(0.5)
+	if p.Predict(0) != 0 {
+		t.Fatal("unseen EWMA should predict 0")
+	}
+	p.Observe(10 * sim.Ms)
+	if p.Predict(0) != 10*sim.Ms {
+		t.Fatalf("first observation should seed: %v", p.Predict(0))
+	}
+	p.Observe(20 * sim.Ms)
+	if got := p.Predict(0); got != 15*sim.Ms {
+		t.Fatalf("Predict = %v, want 15ms (0.5 blend)", got)
+	}
+	p.Observe(20 * sim.Ms)
+	if got := p.Predict(0); got != sim.Time(17.5*float64(sim.Ms)) {
+		t.Fatalf("Predict = %v, want 17.5ms", got)
+	}
+}
+
+func TestEWMAAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v accepted", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+	NewEWMA(1) // boundary is legal
+}
+
+func TestEWMAIgnoresHint(t *testing.T) {
+	p := NewEWMA(0.5)
+	p.Observe(10 * sim.Ms)
+	if p.Predict(123*sim.Sec) != p.Predict(0) {
+		t.Fatal("honest predictor used the hint")
+	}
+}
+
+func TestPerfectPredictor(t *testing.T) {
+	var p Perfect
+	if p.Predict(42*sim.Us) != 42*sim.Us {
+		t.Fatal("oracle must return the hint")
+	}
+	p.Observe(1 * sim.Sec) // no-op
+	if p.Predict(1*sim.Ns) != 1*sim.Ns {
+		t.Fatal("oracle ignores observations")
+	}
+	if p.Name() != "perfect" {
+		t.Fatal("name wrong")
+	}
+}
+
+// Property: EWMA prediction always lies within the range of observations
+// seen so far.
+func TestEWMABoundedProperty(t *testing.T) {
+	f := func(obs []uint16) bool {
+		if len(obs) == 0 {
+			return true
+		}
+		p := NewEWMA(0.3)
+		min, max := sim.Time(obs[0]), sim.Time(obs[0])
+		for _, o := range obs {
+			d := sim.Time(o)
+			p.Observe(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		got := p.Predict(0)
+		return got >= min && got <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

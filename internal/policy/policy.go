@@ -1,0 +1,177 @@
+// Package policy provides the baseline energy managers the paper's DPM
+// architecture is compared against (and a few classics for ablations):
+//
+//   - AlwaysOn — the Table 2 reference: run every task at maximum speed,
+//     never sleep;
+//   - FixedTimeout — classic timeout DPM: after a fixed inactivity period,
+//     drop into a fixed sleep state;
+//   - Greedy — sleep immediately on idleness, always into the same state;
+//   - Oracle — like the LEM's sleep selection but with a perfect idle-time
+//     prediction (upper bound for predictor quality).
+//
+// All satisfy ip.Manager.
+package policy
+
+import (
+	"fmt"
+
+	"godpm/internal/acpi"
+	"godpm/internal/power"
+	"godpm/internal/sim"
+	"godpm/internal/task"
+)
+
+// transition requests target on the PSM and waits for completion, first
+// draining any in-flight transition.
+func transition(c *sim.Ctx, psm *acpi.PSM, target acpi.State) {
+	for psm.Transitioning().Read() {
+		c.Wait(psm.Done())
+	}
+	if psm.State() == target {
+		return
+	}
+	if _, err := psm.Request(target); err != nil {
+		panic(fmt.Sprintf("policy: %v", err))
+	}
+	c.Wait(psm.Done())
+}
+
+// AlwaysOn runs everything at ON1 and never sleeps. Table 2's percentages
+// are computed against this manager.
+type AlwaysOn struct {
+	psm *acpi.PSM
+}
+
+// NewAlwaysOn creates the baseline manager for psm.
+func NewAlwaysOn(psm *acpi.PSM) *AlwaysOn { return &AlwaysOn{psm: psm} }
+
+// AcquireOn implements ip.Manager.
+func (m *AlwaysOn) AcquireOn(c *sim.Ctx, _ task.Task) power.OperatingPoint {
+	transition(c, m.psm, acpi.ON1)
+	return m.psm.Profile().On[0]
+}
+
+// ReleaseIdle implements ip.Manager (the baseline stays clocked).
+func (m *AlwaysOn) ReleaseIdle(*sim.Ctx, sim.Time) {}
+
+// FixedTimeout is the classic timeout policy: when the IP has been idle for
+// Timeout, the PSM drops into SleepState. Tasks always execute at ON1.
+type FixedTimeout struct {
+	k          *sim.Kernel
+	psm        *acpi.PSM
+	Timeout    sim.Time
+	SleepState acpi.State
+
+	idle     bool
+	idleGen  int
+	timerEv  *sim.Event
+	timeouts int
+}
+
+// NewFixedTimeout creates a timeout manager (classic DPM reference).
+func NewFixedTimeout(k *sim.Kernel, psm *acpi.PSM, timeout sim.Time, sleepState acpi.State) *FixedTimeout {
+	if timeout <= 0 {
+		panic("policy: timeout must be positive")
+	}
+	if sleepState.IsOn() {
+		panic("policy: timeout sleep state must not be an ON state")
+	}
+	m := &FixedTimeout{k: k, psm: psm, Timeout: timeout, SleepState: sleepState,
+		timerEv: k.NewEvent("timeout.timer")}
+	k.Method("timeout.policy", m.onTimer).Sensitive(m.timerEv).DontInitialize()
+	return m
+}
+
+// onTimer fires when the inactivity timer expires; if the IP is still idle
+// and the PSM is stable in an ON state, start the sleep transition.
+func (m *FixedTimeout) onTimer() {
+	if m.idle && !m.psm.Transitioning().Read() && m.psm.State().IsOn() {
+		m.timeouts++
+		if _, err := m.psm.Request(m.SleepState); err != nil {
+			panic(fmt.Sprintf("policy: timeout: %v", err))
+		}
+	}
+}
+
+// AcquireOn implements ip.Manager.
+func (m *FixedTimeout) AcquireOn(c *sim.Ctx, _ task.Task) power.OperatingPoint {
+	m.idle = false
+	m.timerEv.Cancel()
+	transition(c, m.psm, acpi.ON1)
+	return m.psm.Profile().On[0]
+}
+
+// ReleaseIdle implements ip.Manager: it arms the inactivity timer.
+func (m *FixedTimeout) ReleaseIdle(c *sim.Ctx, _ sim.Time) {
+	m.idle = true
+	m.timerEv.Notify(m.Timeout)
+}
+
+// Timeouts returns how many times the timer put the IP to sleep.
+func (m *FixedTimeout) Timeouts() int { return m.timeouts }
+
+// Greedy sleeps immediately whenever the IP goes idle, always into
+// SleepState; tasks execute at ON1.
+type Greedy struct {
+	psm        *acpi.PSM
+	SleepState acpi.State
+}
+
+// NewGreedy creates a greedy manager.
+func NewGreedy(psm *acpi.PSM, sleepState acpi.State) *Greedy {
+	if sleepState.IsOn() {
+		panic("policy: greedy sleep state must not be an ON state")
+	}
+	return &Greedy{psm: psm, SleepState: sleepState}
+}
+
+// AcquireOn implements ip.Manager.
+func (m *Greedy) AcquireOn(c *sim.Ctx, _ task.Task) power.OperatingPoint {
+	transition(c, m.psm, acpi.ON1)
+	return m.psm.Profile().On[0]
+}
+
+// ReleaseIdle implements ip.Manager.
+func (m *Greedy) ReleaseIdle(c *sim.Ctx, _ sim.Time) {
+	transition(c, m.psm, m.SleepState)
+}
+
+// Oracle executes at ON1 and, on idleness, picks the deepest sleep state
+// whose break-even time fits the *actual* upcoming idle duration (it trusts
+// the hint). It is the upper bound for any timeout/predictive sleeping
+// policy that keeps tasks at full speed.
+type Oracle struct {
+	psm *acpi.PSM
+	// AllowSoftOff permits soft-off as a target.
+	AllowSoftOff bool
+}
+
+// NewOracle creates an oracle manager.
+func NewOracle(psm *acpi.PSM) *Oracle { return &Oracle{psm: psm} }
+
+// AcquireOn implements ip.Manager.
+func (m *Oracle) AcquireOn(c *sim.Ctx, _ task.Task) power.OperatingPoint {
+	transition(c, m.psm, acpi.ON1)
+	return m.psm.Profile().On[0]
+}
+
+// ReleaseIdle implements ip.Manager.
+func (m *Oracle) ReleaseIdle(c *sim.Ctx, hint sim.Time) {
+	prof := m.psm.Profile()
+	s := m.psm.State()
+	if !s.IsOn() {
+		return
+	}
+	pIdle := prof.IdlePower(prof.On[s.OnIndex()])
+	deepest := 3
+	if m.AllowSoftOff {
+		deepest = 4
+	}
+	for i := deepest; i >= 0; i-- {
+		tbe, ok := prof.BreakEven(pIdle, prof.Sleep[i])
+		if ok && hint >= tbe {
+			transition(c, m.psm, acpi.SleepStateByIndex(i))
+			return
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package policy
+
+import (
+	"testing"
+
+	"godpm/internal/acpi"
+	"godpm/internal/power"
+	"godpm/internal/sim"
+	"godpm/internal/task"
+)
+
+func newPSM(k *sim.Kernel) *acpi.PSM {
+	return acpi.NewPSM(k, "ip", power.DefaultProfile(), acpi.ON1)
+}
+
+func someTask() task.Task {
+	return task.Task{ID: 1, Instructions: 1000, Class: power.InstrALU, Priority: task.Medium}
+}
+
+func TestAlwaysOnStaysOn(t *testing.T) {
+	k := sim.NewKernel()
+	psm := newPSM(k)
+	m := NewAlwaysOn(psm)
+	k.Thread("drv", func(c *sim.Ctx) {
+		op := m.AcquireOn(c, someTask())
+		if op.Name != "ON1" {
+			t.Errorf("op %q, want ON1", op.Name)
+		}
+		m.ReleaseIdle(c, 10*sim.Sec)
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if psm.State() != acpi.ON1 {
+		t.Fatalf("state %v, want ON1 forever", psm.State())
+	}
+	if psm.TransitionCount() != 0 {
+		t.Fatalf("baseline made %d transitions", psm.TransitionCount())
+	}
+}
+
+func TestAlwaysOnWakesFromSleepStart(t *testing.T) {
+	k := sim.NewKernel()
+	psm := acpi.NewPSM(k, "ip", power.DefaultProfile(), acpi.SL3)
+	m := NewAlwaysOn(psm)
+	var woke sim.Time
+	k.Thread("drv", func(c *sim.Ctx) {
+		m.AcquireOn(c, someTask())
+		woke = c.Now()
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	want := power.DefaultProfile().Sleep[2].WakeLatency
+	if woke != want {
+		t.Fatalf("woke at %v, want wake latency %v", woke, want)
+	}
+}
+
+func TestFixedTimeoutSleepsAfterTimeout(t *testing.T) {
+	k := sim.NewKernel()
+	psm := newPSM(k)
+	m := NewFixedTimeout(k, psm, 2*sim.Ms, acpi.SL2)
+	k.Thread("drv", func(c *sim.Ctx) {
+		m.AcquireOn(c, someTask())
+		m.ReleaseIdle(c, 0)
+		c.WaitTime(10 * sim.Ms) // idle long enough for the timer
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if psm.State() != acpi.SL2 {
+		t.Fatalf("state %v after timeout, want SL2", psm.State())
+	}
+	if m.Timeouts() != 1 {
+		t.Fatalf("Timeouts = %d", m.Timeouts())
+	}
+}
+
+func TestFixedTimeoutCancelledByEarlyRequest(t *testing.T) {
+	k := sim.NewKernel()
+	psm := newPSM(k)
+	m := NewFixedTimeout(k, psm, 5*sim.Ms, acpi.SL2)
+	k.Thread("drv", func(c *sim.Ctx) {
+		m.AcquireOn(c, someTask())
+		m.ReleaseIdle(c, 0)
+		c.WaitTime(1 * sim.Ms) // back before the timeout
+		m.AcquireOn(c, someTask())
+		c.WaitTime(20 * sim.Ms)
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if m.Timeouts() != 0 {
+		t.Fatalf("timer fired %d times despite early request", m.Timeouts())
+	}
+	if psm.State() != acpi.ON1 {
+		t.Fatalf("state %v, want ON1", psm.State())
+	}
+}
+
+func TestFixedTimeoutWakeupDelaysNextTask(t *testing.T) {
+	k := sim.NewKernel()
+	psm := newPSM(k)
+	m := NewFixedTimeout(k, psm, 1*sim.Ms, acpi.SL2)
+	var startedAt sim.Time
+	k.Thread("drv", func(c *sim.Ctx) {
+		m.AcquireOn(c, someTask())
+		m.ReleaseIdle(c, 0)
+		c.WaitTime(10 * sim.Ms)
+		m.AcquireOn(c, someTask())
+		startedAt = c.Now()
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	wake := power.DefaultProfile().Sleep[1].WakeLatency
+	if startedAt < 10*sim.Ms+wake {
+		t.Fatalf("second task at %v, want wake latency %v after 10ms", startedAt, wake)
+	}
+}
+
+func TestFixedTimeoutValidation(t *testing.T) {
+	k := sim.NewKernel()
+	psm := newPSM(k)
+	for _, fn := range []func(){
+		func() { NewFixedTimeout(k, psm, 0, acpi.SL1) },
+		func() { NewFixedTimeout(k, psm, sim.Ms, acpi.ON2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGreedySleepsImmediately(t *testing.T) {
+	k := sim.NewKernel()
+	psm := newPSM(k)
+	m := NewGreedy(psm, acpi.SL1)
+	var sleptAt sim.Time
+	k.Thread("drv", func(c *sim.Ctx) {
+		m.AcquireOn(c, someTask())
+		m.ReleaseIdle(c, 0)
+		sleptAt = c.Now()
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if psm.State() != acpi.SL1 {
+		t.Fatalf("state %v, want SL1", psm.State())
+	}
+	enter := power.DefaultProfile().Sleep[0].EnterLatency
+	if sleptAt != enter {
+		t.Fatalf("slept at %v, want immediately after %v enter", sleptAt, enter)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	k := sim.NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGreedy(newPSM(k), acpi.ON1)
+}
+
+func TestOracleSleepsByActualIdle(t *testing.T) {
+	prof := power.DefaultProfile()
+	pIdle := prof.IdlePower(prof.On[0])
+	tbe4, _ := prof.BreakEven(pIdle, prof.Sleep[3])
+	tbe1, _ := prof.BreakEven(pIdle, prof.Sleep[0])
+
+	cases := []struct {
+		idle sim.Time
+		want acpi.State
+	}{
+		{tbe4 * 2, acpi.SL4},
+		{tbe1 + (tbe1 / 2), acpi.SL1},
+		{tbe1 / 2, acpi.ON1}, // too short: stay on
+	}
+	for _, c := range cases {
+		k := sim.NewKernel()
+		psm := newPSM(k)
+		m := NewOracle(psm)
+		k.Thread("drv", func(ctx *sim.Ctx) {
+			m.AcquireOn(ctx, someTask())
+			m.ReleaseIdle(ctx, c.idle)
+		})
+		if err := k.Run(sim.MaxTime); err != nil {
+			t.Fatal(err)
+		}
+		if psm.State() != c.want {
+			t.Errorf("idle %v: state %v, want %v", c.idle, psm.State(), c.want)
+		}
+	}
+}
+
+func TestOracleSoftOffOption(t *testing.T) {
+	k := sim.NewKernel()
+	psm := newPSM(k)
+	m := NewOracle(psm)
+	m.AllowSoftOff = true
+	k.Thread("drv", func(c *sim.Ctx) {
+		m.AcquireOn(c, someTask())
+		m.ReleaseIdle(c, 100*sim.Sec)
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if psm.State() != acpi.SoftOff {
+		t.Fatalf("state %v, want SoftOff", psm.State())
+	}
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"godpm/internal/experiments"
+	"godpm/internal/sim"
+	"godpm/internal/soc"
+	"godpm/internal/stats"
+)
+
+// fakeRow builds a Row with plausible results without running a simulation.
+func fakeRow(id string, saving, temp, delay float64) experiments.Row {
+	return experiments.Row{
+		ID:               id,
+		EnergySavingPct:  saving,
+		TempReductionPct: temp,
+		DelayOverheadPct: delay,
+		DPM: &soc.Result{EnergyJ: 1, Ledger: &stats.Ledger{}, Duration: sim.Sec,
+			Completed: true, TasksDone: 10, AvgTempC: 50, PeakTempC: 60, AmbientC: 45},
+		Base: &soc.Result{EnergyJ: 2, Ledger: &stats.Ledger{}, Duration: sim.Sec,
+			AvgTempC: 60, PeakTempC: 75, AmbientC: 45},
+	}
+}
+
+func goodRows() []experiments.Row {
+	return []experiments.Row{
+		fakeRow("A1", 39, 11, 38),
+		fakeRow("A2", 80, 21, 320),
+		fakeRow("A3", 38, 11, 37),
+		fakeRow("A4", 80, 21, 320),
+		fakeRow("B", 86, 41, 170),
+		fakeRow("C", 71, 47, 172),
+	}
+}
+
+func TestWriteContainsTableAndChecks(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, goodRows(), Options{Title: "test report"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# test report",
+		"## Table 2",
+		"| A1 | 39 | **39.0** |",
+		"## Shape checks",
+		"✓",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "✗") {
+		t.Errorf("good rows produced a failing check:\n%s", out)
+	}
+}
+
+func TestWriteDetailsSection(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, goodRows()[:1], Options{Details: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## Per-scenario details", "### A1", "baseline:", "temperature:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("details missing %q", want)
+		}
+	}
+}
+
+func TestShapeChecksDetectViolations(t *testing.T) {
+	rows := goodRows()
+	// Break A2: make it save less than A1.
+	rows[1].EnergySavingPct = 10
+	checks := ShapeChecks(rows)
+	if AllPass(checks) {
+		t.Fatal("violated ordering not detected")
+	}
+	failing := 0
+	for _, c := range checks {
+		if !c.Pass {
+			failing++
+		}
+	}
+	if failing == 0 {
+		t.Fatal("no failing check reported")
+	}
+}
+
+func TestShapeChecksSkipMissingScenarios(t *testing.T) {
+	checks := ShapeChecks([]experiments.Row{fakeRow("A1", 39, 11, 38)})
+	for _, c := range checks {
+		if strings.Contains(c.Description, "A2") || strings.Contains(c.Description, "B") {
+			t.Fatalf("check %q requires missing scenarios", c.Description)
+		}
+	}
+	if !AllPass(checks) {
+		t.Fatal("single positive row should pass its checks")
+	}
+}
+
+func TestUnknownScenarioGetsDashPaperColumns(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, []experiments.Row{fakeRow("X9", 1, 1, 1)}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| X9 | — |") {
+		t.Fatalf("missing dash columns:\n%s", sb.String())
+	}
+}
+
+func TestFormatCounts(t *testing.T) {
+	if got := formatCounts(map[string]int{"ON1": 2, "": 1}); got != "stay-on×1 ON1×2" {
+		t.Fatalf("formatCounts = %q", got)
+	}
+	if got := formatCounts(nil); got != "-" {
+		t.Fatalf("formatCounts(nil) = %q", got)
+	}
+}

@@ -1,0 +1,78 @@
+package rules
+
+import (
+	"godpm/internal/acpi"
+	"godpm/internal/battery"
+	"godpm/internal/task"
+	"godpm/internal/thermal"
+)
+
+// Table1Rules is the paper's Table 1 ("Power state selection algorithm")
+// encoded row by row, in table order, with first-match semantics.
+// Abbreviations as in the paper: priorities V/H/M/L; battery E(mpty),
+// L(ow), M(edium), H(igh), F(ull) and "Power supply" (mains); temperature
+// L/M/H; "-" is a wildcard.
+func Table1Rules() []Rule {
+	V, H, M, L := task.VeryHigh, task.High, task.Medium, task.Low
+	bE, bL, bM, bH, bF := battery.Empty, battery.Low, battery.Medium, battery.High, battery.Full
+	tL, tM, tH := thermal.LowTemp, thermal.MediumTemp, thermal.HighTemp
+	return []Rule{
+		// V  E  -  → ON4
+		{P(V), B(bE), AnyTemp, acpi.ON4, "row1: V,E,- -> ON4"},
+		// V  -  H  → ON4
+		{P(V), AnyBattery, T(tH), acpi.ON4, "row2: V,-,H -> ON4"},
+		// H,M,L  E  -  → SL1
+		{P(H, M, L), B(bE), AnyTemp, acpi.SL1, "row3: HML,E,- -> SL1"},
+		// H,M,L  -  H  → SL1
+		{P(H, M, L), AnyBattery, T(tH), acpi.SL1, "row4: HML,-,H -> SL1"},
+		// -  L  M,L  → ON4
+		{AnyPriority, B(bL), T(tM, tL), acpi.ON4, "row5: -,L,ML -> ON4"},
+		// -  E  M  → ON4   (dead: rows 1 and 3 already cover battery Empty)
+		{AnyPriority, B(bE), T(tM), acpi.ON4, "row6: -,E,M -> ON4 (shadowed)"},
+		// V  M,H  L  → ON1
+		{P(V), B(bM, bH), T(tL), acpi.ON1, "row7: V,MH,L -> ON1"},
+		// H  M,H  L  → ON2
+		{P(H), B(bM, bH), T(tL), acpi.ON2, "row8: H,MH,L -> ON2"},
+		// M  M,H  L  → ON3
+		{P(M), B(bM, bH), T(tL), acpi.ON3, "row9: M,MH,L -> ON3"},
+		// L  M,H  L  → ON4
+		{P(L), B(bM, bH), T(tL), acpi.ON4, "row10: L,MH,L -> ON4"},
+		// V,H,M  F  L  → ON1
+		{P(V, H, M), B(bF), T(tL), acpi.ON1, "row11: VHM,F,L -> ON1"},
+		// L  F  L  → ON2
+		{P(L), B(bF), T(tL), acpi.ON2, "row12: L,F,L -> ON2"},
+		// -  Power supply  M,L  → ON1
+		{AnyPriority, B(battery.Mains), T(tM, tL), acpi.ON1, "row13: -,Mains,ML -> ON1"},
+	}
+}
+
+// Table1 returns the paper's table completed with the documented default
+// (→ ON3) for the input region Table 1 leaves undecided: battery Medium/
+// High/Full with temperature Medium (rows 7–12 require temperature Low).
+// ON3 is the mid-speed compromise consistent with the table's intent of
+// slowing down as conditions degrade.
+func Table1() *Table {
+	return NewTable(Table1Rules()).WithDefault(acpi.ON3)
+}
+
+// Table1DSL is the same policy expressed in the natural-language rule form
+// the paper alludes to ("If the priority is high and the battery is empty
+// then the power state is ON4"). Parsing this text must yield a table that
+// agrees with Table1() on every input.
+const Table1DSL = `
+# Table 1 - Power state selection algorithm (Conti, DATE 2005)
+if the priority is veryhigh and the battery is empty then the power state is ON4
+if the priority is veryhigh and the temperature is high then the power state is ON4
+if the priority is high or medium or low and the battery is empty then the power state is SL1
+if the priority is high or medium or low and the temperature is high then the power state is SL1
+if the battery is low and the temperature is medium or low then the power state is ON4
+if the battery is empty and the temperature is medium then the power state is ON4
+if the priority is veryhigh and the battery is medium or high and the temperature is low then the power state is ON1
+if the priority is high and the battery is medium or high and the temperature is low then the power state is ON2
+if the priority is medium and the battery is medium or high and the temperature is low then the power state is ON3
+if the priority is low and the battery is medium or high and the temperature is low then the power state is ON4
+if the priority is veryhigh or high or medium and the battery is full and the temperature is low then the power state is ON1
+if the priority is low and the battery is full and the temperature is low then the power state is ON2
+if the battery is mains and the temperature is medium or low then the power state is ON1
+default ON3
+`

@@ -1,0 +1,196 @@
+package sim
+
+import "testing"
+
+func TestWaitAllGathersEveryEvent(t *testing.T) {
+	k := NewKernel()
+	a := k.NewEvent("a")
+	b := k.NewEvent("b")
+	c := k.NewEvent("c")
+	var done Time = -1
+	k.Thread("t", func(ctx *Ctx) {
+		ctx.WaitAll(a, b, c)
+		done = ctx.Now()
+	})
+	a.Notify(1 * Ns)
+	c.Notify(5 * Ns)
+	b.Notify(9 * Ns)
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if done != 9*Ns {
+		t.Fatalf("WaitAll completed at %v, want 9ns (last event)", done)
+	}
+}
+
+func TestWaitAllRepeatFiresCountOnce(t *testing.T) {
+	k := NewKernel()
+	a := k.NewEvent("a")
+	b := k.NewEvent("b")
+	var done Time = -1
+	k.Thread("t", func(ctx *Ctx) {
+		ctx.WaitAll(a, b)
+		done = ctx.Now()
+	})
+	// a fires repeatedly; b only at 20ns.
+	n := 0
+	drv := k.NewEvent("drv")
+	k.Method("d", func() {
+		n++
+		a.NotifyDelta()
+		if n < 5 {
+			drv.Notify(2 * Ns)
+		}
+	}).Sensitive(drv)
+	b.Notify(20 * Ns)
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if done != 20*Ns {
+		t.Fatalf("WaitAll completed at %v, want 20ns", done)
+	}
+}
+
+func TestWaitAllEmptyPanics(t *testing.T) {
+	k := NewKernel()
+	recovered := false
+	k.Thread("t", func(ctx *Ctx) {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+				panic(killError{name: "t"})
+			}
+		}()
+		ctx.WaitAll()
+	})
+	_ = k.Run(MaxTime)
+	if !recovered {
+		t.Fatal("WaitAll() did not panic")
+	}
+}
+
+func TestNotifyNowRunsInSameEvaluation(t *testing.T) {
+	k := NewKernel()
+	e := k.NewEvent("e")
+	var order []string
+	k.Method("late", func() { order = append(order, "late") }).Sensitive(e).DontInitialize()
+	k.Method("driver", func() {
+		order = append(order, "driver")
+		e.NotifyNow()
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[1] != "late" {
+		t.Fatalf("order = %v", order)
+	}
+	if k.DeltaCount() != 0 {
+		t.Fatalf("immediate notification consumed %d delta cycles", k.DeltaCount())
+	}
+}
+
+func TestCancelDeltaNotification(t *testing.T) {
+	k := NewKernel()
+	e := k.NewEvent("e")
+	fired := false
+	k.Method("w", func() { fired = true }).Sensitive(e).DontInitialize()
+	k.Method("driver", func() {
+		e.NotifyDelta()
+		e.Cancel()
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled delta notification fired")
+	}
+}
+
+func TestTimedNotifyAfterDeltaIsIgnored(t *testing.T) {
+	// A pending delta notification beats any timed one.
+	k := NewKernel()
+	e := k.NewEvent("e")
+	var times []Time
+	k.Method("w", func() { times = append(times, k.Now()) }).Sensitive(e).DontInitialize()
+	k.Method("driver", func() {
+		e.NotifyDelta()
+		e.Notify(10 * Ns) // must be ignored
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 1 || times[0] != 0 {
+		t.Fatalf("times = %v, want single delta fire at 0", times)
+	}
+}
+
+func TestTerminatedThreadIgnoresLateEvents(t *testing.T) {
+	k := NewKernel()
+	e := k.NewEvent("e")
+	runs := 0
+	k.Thread("t", func(ctx *Ctx) {
+		runs++
+		ctx.Wait(e)
+		runs++
+	})
+	e.Notify(1 * Ns)
+	e.Notify(1 * Ns) // earliest-wins: still a single fire
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	e.Notify(1 * Ns) // after termination
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("thread body advanced %d times, want 2", runs)
+	}
+}
+
+func TestSignalWriteOutsideProcessAppliesOnRun(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 1)
+	s.Write(7)
+	if s.Read() != 1 {
+		t.Fatal("write applied before update phase")
+	}
+	if err := k.Run(k.Now() + 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Read() != 7 {
+		t.Fatalf("Read = %d after settle", s.Read())
+	}
+}
+
+func TestManyEventsSameInstantAllFire(t *testing.T) {
+	k := NewKernel()
+	const n = 100
+	fired := 0
+	for i := 0; i < n; i++ {
+		e := k.NewEvent("e")
+		k.Method("m", func() {
+			if k.Now() > 0 {
+				fired++
+			}
+		}).Sensitive(e)
+		e.Notify(5 * Ns)
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if fired != n {
+		t.Fatalf("fired = %d, want %d", fired, n)
+	}
+}
+
+func TestEventNamesPreserved(t *testing.T) {
+	k := NewKernel()
+	e := k.NewEvent("my.event")
+	if e.Name() != "my.event" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	p := k.Method("proc", func() {})
+	if p.Name() != "proc" {
+		t.Fatalf("proc Name = %q", p.Name())
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+// Event is a kernel notification primitive, equivalent to sc_event.
+//
+// Processes become runnable when an event they are sensitive to (statically
+// or via a dynamic wait) fires. Events may be notified immediately (within
+// the current evaluation phase), for the next delta cycle, or after a timed
+// delay. Like SystemC, a pending timed notification is overridden only by an
+// *earlier* one: notifying an event that already has a pending notification
+// at an earlier or equal time is a no-op.
+type Event struct {
+	k    *Kernel
+	name string
+	id   int
+
+	// static subscribers (processes whose sensitivity list includes this
+	// event) and dynamic waiters (threads blocked in Wait, methods with a
+	// NextTrigger) — dynamic waiters are cleared when the event fires.
+	static  []*process
+	dynamic []*process
+
+	// pendingAt is the simulation time of the outstanding timed
+	// notification, or pendingNone. pendingGen invalidates stale heap
+	// entries after an earlier notify or a cancel.
+	pendingAt    Time
+	pendingGen   uint64
+	pendingDelta bool
+}
+
+const pendingNone Time = -1
+
+// Name returns the diagnostic name given at creation.
+func (e *Event) Name() string { return e.name }
+
+// Notify schedules the event to fire after delay. A zero delay schedules a
+// delta-cycle notification (SystemC SC_ZERO_TIME semantics). If a timed
+// notification is already pending at an earlier or equal time the call has
+// no effect; a later pending notification is cancelled and replaced.
+func (e *Event) Notify(delay Time) {
+	if delay < 0 {
+		panic("sim: Event.Notify with negative delay")
+	}
+	if delay == 0 {
+		e.NotifyDelta()
+		return
+	}
+	if e.pendingDelta {
+		return // delta notification beats any timed one
+	}
+	at := e.k.now + delay
+	if e.pendingAt != pendingNone && e.pendingAt <= at {
+		return
+	}
+	e.pendingGen++
+	e.pendingAt = at
+	e.k.scheduleTimed(e, at, e.pendingGen)
+}
+
+// NotifyDelta schedules the event to fire in the next delta cycle,
+// cancelling any pending timed notification.
+func (e *Event) NotifyDelta() {
+	if e.pendingDelta {
+		return
+	}
+	if e.pendingAt != pendingNone {
+		e.pendingGen++ // invalidate the timed entry
+		e.pendingAt = pendingNone
+	}
+	e.pendingDelta = true
+	e.k.deltaQueue = append(e.k.deltaQueue, e)
+}
+
+// NotifyNow fires the event immediately: processes sensitive to it become
+// runnable within the current evaluation phase. Use sparingly; immediate
+// notification is order-sensitive just as in SystemC.
+func (e *Event) NotifyNow() {
+	e.fire()
+}
+
+// Cancel removes any pending (timed or delta) notification.
+func (e *Event) Cancel() {
+	if e.pendingAt != pendingNone {
+		e.pendingGen++
+		e.pendingAt = pendingNone
+	}
+	e.pendingDelta = false // delta entry becomes a no-op when drained
+}
+
+// Pending reports whether a timed or delta notification is outstanding.
+func (e *Event) Pending() bool { return e.pendingDelta || e.pendingAt != pendingNone }
+
+// fire makes every subscribed process runnable and clears dynamic waiters.
+func (e *Event) fire() {
+	e.pendingAt = pendingNone
+	e.pendingDelta = false
+	for _, p := range e.static {
+		e.k.makeRunnable(p)
+	}
+	if len(e.dynamic) > 0 {
+		dyn := e.dynamic
+		e.dynamic = e.dynamic[:0]
+		for _, p := range dyn {
+			if p.clearDynamicWait(e) {
+				e.k.makeRunnable(p)
+			}
+		}
+	}
+}
+
+// subscribeDynamic registers p as a one-shot waiter.
+func (e *Event) subscribeDynamic(p *process) {
+	e.dynamic = append(e.dynamic, p)
+}
+
+// unsubscribeDynamic removes p from the one-shot waiter list (used when a
+// WaitAny fires on a sibling event).
+func (e *Event) unsubscribeDynamic(p *process) {
+	for i, q := range e.dynamic {
+		if q == p {
+			e.dynamic = append(e.dynamic[:i], e.dynamic[i+1:]...)
+			return
+		}
+	}
+}

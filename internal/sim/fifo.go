@@ -1,0 +1,81 @@
+package sim
+
+// Fifo is a bounded FIFO channel with blocking Put/Get for thread processes
+// and non-blocking TryPut/TryGet for method processes, equivalent to
+// sc_fifo. Writes become visible to readers immediately (unlike signals,
+// FIFOs are not delta-delayed; this matches sc_fifo's read/write events
+// being delta-notified while the data moves at once).
+type Fifo[T any] struct {
+	k       *Kernel
+	name    string
+	buf     []T
+	cap     int
+	written *Event // fired (delta) after a Put
+	read    *Event // fired (delta) after a Get
+}
+
+// NewFifo creates a FIFO with the given capacity (must be >= 1).
+func NewFifo[T any](k *Kernel, name string, capacity int) *Fifo[T] {
+	if capacity < 1 {
+		panic("sim: fifo capacity must be >= 1")
+	}
+	return &Fifo[T]{
+		k: k, name: name, cap: capacity,
+		written: k.NewEvent(name + ".written"),
+		read:    k.NewEvent(name + ".read"),
+	}
+}
+
+// Name returns the FIFO name.
+func (f *Fifo[T]) Name() string { return f.name }
+
+// Len returns the number of buffered items.
+func (f *Fifo[T]) Len() int { return len(f.buf) }
+
+// Cap returns the capacity.
+func (f *Fifo[T]) Cap() int { return f.cap }
+
+// TryPut appends v if space is available, reporting success.
+func (f *Fifo[T]) TryPut(v T) bool {
+	if len(f.buf) >= f.cap {
+		return false
+	}
+	f.buf = append(f.buf, v)
+	f.written.NotifyDelta()
+	return true
+}
+
+// TryGet removes and returns the oldest item, if any.
+func (f *Fifo[T]) TryGet() (T, bool) {
+	var zero T
+	if len(f.buf) == 0 {
+		return zero, false
+	}
+	v := f.buf[0]
+	f.buf = f.buf[1:]
+	f.read.NotifyDelta()
+	return v, true
+}
+
+// Put blocks the calling thread until space is available, then appends v.
+func (f *Fifo[T]) Put(c *Ctx, v T) {
+	for !f.TryPut(v) {
+		c.Wait(f.read)
+	}
+}
+
+// Get blocks the calling thread until an item is available and returns it.
+func (f *Fifo[T]) Get(c *Ctx) T {
+	for {
+		if v, ok := f.TryGet(); ok {
+			return v
+		}
+		c.Wait(f.written)
+	}
+}
+
+// WrittenEvent fires (delta-notified) after every successful put.
+func (f *Fifo[T]) WrittenEvent() *Event { return f.written }
+
+// ReadEvent fires (delta-notified) after every successful get.
+func (f *Fifo[T]) ReadEvent() *Event { return f.read }

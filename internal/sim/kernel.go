@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Kernel owns simulated time, the event queues and every process, event and
+// signal of one simulation. It is not safe for concurrent use; all model
+// code runs on the kernel's scheduling thread.
+type Kernel struct {
+	now Time
+
+	timed      timedHeap // future timed notifications
+	deltaQueue []*Event  // events notified for the next delta cycle
+	runnable   []*process
+	updates    []updater // signals with a pending update this delta
+
+	procs  []*process
+	events []*Event
+
+	stopRequested bool
+	started       bool
+	deltaCount    uint64
+	threadPanic   error
+
+	// MaxDeltasPerInstant guards against delta-cycle livelock (two method
+	// processes re-notifying each other forever at the same time). Zero
+	// means the default of 1,000,000.
+	MaxDeltasPerInstant int
+
+	// onUpdate hooks run after each update phase; the trace package uses
+	// them to sample changed signals.
+	onUpdate []func(Time)
+}
+
+// updater is implemented by signals: apply the pending write and notify the
+// changed event if the value actually changed.
+type updater interface{ applyUpdate() }
+
+// NewKernel returns a kernel at time zero with empty queues.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// DeltaCount returns the number of delta cycles executed so far; useful in
+// tests asserting scheduling behaviour.
+func (k *Kernel) DeltaCount() uint64 { return k.deltaCount }
+
+// NewEvent creates a named event owned by this kernel.
+func (k *Kernel) NewEvent(name string) *Event {
+	e := &Event{k: k, name: name, id: len(k.events), pendingAt: pendingNone}
+	k.events = append(k.events, e)
+	return e
+}
+
+// Method registers a method process: fn is invoked once per activation and
+// must not block. Sensitivity is configured on the returned handle.
+func (k *Kernel) Method(name string, fn func()) *Proc {
+	p := &process{k: k, name: name, id: len(k.procs), kind: kindMethod, methodFn: fn}
+	k.procs = append(k.procs, p)
+	return &Proc{p: p}
+}
+
+// Thread registers a thread process: fn runs on its own goroutine,
+// co-operatively scheduled, and may block via the Ctx wait primitives.
+// When fn returns the process terminates.
+func (k *Kernel) Thread(name string, fn func(*Ctx)) *Proc {
+	p := &process{
+		k: k, name: name, id: len(k.procs), kind: kindThread, threadFn: fn,
+		resume: make(chan struct{}), yield: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	return &Proc{p: p}
+}
+
+// Stop requests the simulation to halt at the end of the current delta
+// cycle; Run returns normally.
+func (k *Kernel) Stop() { k.stopRequested = true }
+
+// ErrDeltaLivelock is returned by Run when one simulated instant exceeds
+// MaxDeltasPerInstant delta cycles.
+var ErrDeltaLivelock = errors.New("sim: delta-cycle livelock detected")
+
+// Run advances the simulation until (and including) time `until`, until the
+// event queues drain, or until Stop is called. It may be called repeatedly
+// to continue the same simulation. On the first call every process without
+// DontInitialize is activated once at the current time.
+func (k *Kernel) Run(until Time) error {
+	if !k.started {
+		k.started = true
+		for _, p := range k.procs {
+			if !p.dontInit {
+				k.makeRunnable(p)
+			}
+		}
+	}
+	k.stopRequested = false
+
+	maxDeltas := k.MaxDeltasPerInstant
+	if maxDeltas <= 0 {
+		maxDeltas = 1_000_000
+	}
+
+	deltasThisInstant := 0
+	for {
+		// Evaluation phase.
+		if len(k.runnable) > 0 {
+			run := k.runnable
+			k.runnable = nil
+			for _, p := range run {
+				p.runnable = false
+				if p.terminated {
+					continue
+				}
+				p.run()
+				if k.threadPanic != nil {
+					err := k.threadPanic
+					k.threadPanic = nil
+					return err
+				}
+			}
+		}
+
+		// Update phase.
+		if len(k.updates) > 0 {
+			ups := k.updates
+			k.updates = nil
+			for _, u := range ups {
+				u.applyUpdate()
+			}
+			for _, h := range k.onUpdate {
+				h(k.now)
+			}
+		}
+
+		// Delta-notification phase.
+		if len(k.deltaQueue) > 0 {
+			k.deltaCount++
+			deltasThisInstant++
+			if deltasThisInstant > maxDeltas {
+				return fmt.Errorf("%w at t=%s", ErrDeltaLivelock, k.now)
+			}
+			dq := k.deltaQueue
+			k.deltaQueue = nil
+			for _, e := range dq {
+				if e.pendingDelta { // not cancelled meanwhile
+					e.fire()
+				}
+			}
+		}
+
+		if k.stopRequested {
+			return nil
+		}
+		if len(k.runnable) > 0 {
+			continue // more work in this instant
+		}
+
+		// Advance time to the next valid timed notification group.
+		nextAt, ok := k.peekValidTimed()
+		if !ok {
+			// Queues drained: park time at the requested horizon (unless the
+			// caller asked for "run forever", where the drain time stands).
+			if until < MaxTime && until > k.now {
+				k.now = until
+			}
+			return nil
+		}
+		if nextAt > until {
+			// Park time at `until` so Now() reflects the requested horizon.
+			if until > k.now {
+				k.now = until
+			}
+			return nil
+		}
+		k.now = nextAt
+		deltasThisInstant = 0
+		for {
+			ent, ok := k.popValidTimedAt(nextAt)
+			if !ok {
+				break
+			}
+			ent.fire()
+		}
+	}
+}
+
+// makeRunnable queues p for the current/next evaluation phase, once.
+func (k *Kernel) makeRunnable(p *process) {
+	if p.runnable || p.terminated {
+		return
+	}
+	p.runnable = true
+	k.runnable = append(k.runnable, p)
+}
+
+// scheduleUpdate queues a signal for the update phase.
+func (k *Kernel) scheduleUpdate(u updater) {
+	k.updates = append(k.updates, u)
+}
+
+// AfterUpdate registers a hook invoked after every update phase. Intended
+// for tracing infrastructure.
+func (k *Kernel) AfterUpdate(h func(Time)) { k.onUpdate = append(k.onUpdate, h) }
+
+// Shutdown unwinds every live thread goroutine. Call it when a kernel is
+// abandoned before its threads have returned, e.g. via defer in tests.
+// After Shutdown the kernel must not be run again.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		if p.kind == kindThread && p.started && !p.terminated {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-p.yield
+		}
+	}
+}
+
+// ---- timed notification heap ----
+
+type timedEntry struct {
+	at  Time
+	seq uint64 // FIFO tiebreak for equal times
+	gen uint64 // matches Event.pendingGen or the entry is stale
+	ev  *Event
+}
+
+type timedHeap struct {
+	entries []timedEntry
+	seq     uint64
+}
+
+func (h *timedHeap) Len() int { return len(h.entries) }
+func (h *timedHeap) Less(i, j int) bool {
+	if h.entries[i].at != h.entries[j].at {
+		return h.entries[i].at < h.entries[j].at
+	}
+	return h.entries[i].seq < h.entries[j].seq
+}
+func (h *timedHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *timedHeap) Push(x any)    { h.entries = append(h.entries, x.(timedEntry)) }
+func (h *timedHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	x := old[n-1]
+	h.entries = old[:n-1]
+	return x
+}
+
+func (k *Kernel) scheduleTimed(e *Event, at Time, gen uint64) {
+	k.timed.seq++
+	heap.Push(&k.timed, timedEntry{at: at, seq: k.timed.seq, gen: gen, ev: e})
+}
+
+// peekValidTimed skips stale heap entries and returns the next valid time.
+func (k *Kernel) peekValidTimed() (Time, bool) {
+	for k.timed.Len() > 0 {
+		top := k.timed.entries[0]
+		if top.ev.pendingGen == top.gen && top.ev.pendingAt == top.at {
+			return top.at, true
+		}
+		heap.Pop(&k.timed)
+	}
+	return 0, false
+}
+
+// popValidTimedAt pops the next valid entry if it is scheduled exactly at t.
+func (k *Kernel) popValidTimedAt(t Time) (*Event, bool) {
+	for k.timed.Len() > 0 {
+		top := k.timed.entries[0]
+		valid := top.ev.pendingGen == top.gen && top.ev.pendingAt == top.at
+		if !valid {
+			heap.Pop(&k.timed)
+			continue
+		}
+		if top.at != t {
+			return nil, false
+		}
+		heap.Pop(&k.timed)
+		return top.ev, true
+	}
+	return nil, false
+}

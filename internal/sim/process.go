@@ -1,0 +1,138 @@
+package sim
+
+import "fmt"
+
+// procKind distinguishes method processes (plain callbacks, SC_METHOD) from
+// thread processes (goroutines with blocking waits, SC_THREAD).
+type procKind int
+
+const (
+	kindMethod procKind = iota
+	kindThread
+)
+
+// process is the kernel-internal representation of a schedulable process.
+type process struct {
+	k    *Kernel
+	name string
+	id   int
+	kind procKind
+
+	methodFn func()
+	threadFn func(*Ctx)
+
+	// static sensitivity list; fires make the process runnable.
+	sensitivity []*Event
+
+	// dynamic one-shot wait set (thread Wait/WaitAny, method NextTrigger).
+	waitSet []*Event
+
+	runnable   bool
+	terminated bool
+
+	// thread machinery: the kernel resumes the goroutine by sending on
+	// resume and waits for it to yield (block in Wait or return) on yield.
+	resume  chan struct{}
+	yield   chan struct{}
+	started bool
+	killed  bool
+
+	// timer is a private event backing WaitTime; allocated lazily.
+	timer *Event
+
+	// dontInit suppresses the initial run at simulation start.
+	dontInit bool
+
+	// lastTrigger records the event that most recently woke the process
+	// from a dynamic wait (nil after a timed or initial activation).
+	lastTrigger *Event
+}
+
+// killError is panicked inside a thread goroutine to unwind it at shutdown.
+type killError struct{ name string }
+
+func (k killError) Error() string { return "sim: thread killed: " + k.name }
+
+// Proc is the public handle to a process.
+type Proc struct{ p *process }
+
+// Name returns the process name.
+func (pr *Proc) Name() string { return pr.p.name }
+
+// Terminated reports whether the process has returned (threads) or will
+// never be triggered again (never true for methods).
+func (pr *Proc) Terminated() bool { return pr.p.terminated }
+
+// Sensitive appends events to the process's static sensitivity list.
+func (pr *Proc) Sensitive(evs ...*Event) *Proc {
+	for _, e := range evs {
+		e.static = append(e.static, pr.p)
+		pr.p.sensitivity = append(pr.p.sensitivity, e)
+	}
+	return pr
+}
+
+// DontInitialize suppresses the implicit activation at simulation start
+// (the process first runs when its sensitivity triggers).
+func (pr *Proc) DontInitialize() *Proc {
+	pr.p.dontInit = true
+	return pr
+}
+
+// clearDynamicWait is called when event e fires while p is in the wait set.
+// It removes p from all sibling events of a WaitAny and reports whether the
+// process should be made runnable.
+func (p *process) clearDynamicWait(fired *Event) bool {
+	if len(p.waitSet) == 0 {
+		return false
+	}
+	for _, e := range p.waitSet {
+		if e != fired {
+			e.unsubscribeDynamic(p)
+		}
+	}
+	p.waitSet = p.waitSet[:0]
+	p.lastTrigger = fired
+	return true
+}
+
+// run executes one activation of the process in the evaluation phase.
+func (p *process) run() {
+	switch p.kind {
+	case kindMethod:
+		p.methodFn()
+	case kindThread:
+		p.resumeThread()
+	}
+}
+
+// resumeThread hands control to the thread goroutine and blocks until it
+// yields (waits again or terminates).
+func (p *process) resumeThread() {
+	if p.terminated {
+		return
+	}
+	if !p.started {
+		p.started = true
+		go p.threadBody()
+	} else {
+		p.resume <- struct{}{}
+	}
+	<-p.yield
+}
+
+func (p *process) threadBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killError); !ok {
+				// Re-panic on the kernel side with context: stash and let
+				// the kernel re-raise so tests see the original panic.
+				p.k.threadPanic = fmt.Errorf("sim: thread %q panicked: %v", p.name, r)
+			}
+		}
+		p.terminated = true
+		p.yield <- struct{}{}
+	}()
+	ctx := &Ctx{k: p.k, p: p}
+	p.threadFn(ctx)
+}

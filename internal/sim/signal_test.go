@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignalInitialValue(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 42)
+	if s.Read() != 42 {
+		t.Fatalf("Read() = %d, want 42", s.Read())
+	}
+}
+
+func TestSignalWriteIsDeltaDelayed(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	var seenDuringEval, seenAfter int
+	k.Method("w", func() {
+		s.Write(7)
+		seenDuringEval = s.Read() // must still be old value
+	})
+	k.Method("r", func() { seenAfter = s.Read() }).Sensitive(s.Changed()).DontInitialize()
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if seenDuringEval != 0 {
+		t.Fatalf("value visible during evaluation phase: %d", seenDuringEval)
+	}
+	if seenAfter != 7 {
+		t.Fatalf("reader saw %d, want 7", seenAfter)
+	}
+}
+
+func TestSignalLastWriteWins(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	k.Method("w", func() {
+		s.Write(1)
+		s.Write(2)
+		s.Write(3)
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if s.Read() != 3 {
+		t.Fatalf("Read() = %d, want 3 (last write)", s.Read())
+	}
+}
+
+func TestSignalNoChangeNoEvent(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 5)
+	fires := 0
+	k.Method("w", func() { s.Write(5) }) // same value
+	k.Method("r", func() { fires++ }).Sensitive(s.Changed()).DontInitialize()
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 0 {
+		t.Fatalf("changed event fired %d times for a no-op write", fires)
+	}
+}
+
+func TestSignalSetReportsChange(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 1)
+	var a, b bool
+	k.Method("w", func() {
+		a = s.Set(1) // no change
+		b = s.Set(2) // change
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if a || !b {
+		t.Fatalf("Set results a=%v b=%v, want false,true", a, b)
+	}
+}
+
+func TestSignalOnChangeHook(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	var got []int
+	s.OnChange(func(_ Time, v int) { got = append(got, v) })
+	e := k.NewEvent("tick")
+	n := 0
+	k.Method("w", func() {
+		n++
+		s.Write(n)
+		if n < 3 {
+			e.Notify(1 * Ns)
+		}
+	}).Sensitive(e)
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("OnChange saw %v, want [1 2 3]", got)
+	}
+}
+
+func TestSignalStringType(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "state", "idle")
+	k.Method("w", func() { s.Write("busy") })
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if s.Read() != "busy" {
+		t.Fatalf("Read() = %q, want busy", s.Read())
+	}
+}
+
+// Property: for any sequence of written values, after the update phase the
+// signal holds the last written value, and the change-event count equals the
+// number of transitions between distinct consecutive *applied* values.
+func TestSignalPropertyLastWriteWins(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		k := NewKernel()
+		s := NewSignal(k, "s", int32(0))
+		e := k.NewEvent("tick")
+		i := 0
+		changes := 0
+		k.Method("r", func() { changes++ }).Sensitive(s.Changed()).DontInitialize()
+		k.Method("w", func() {
+			s.Write(int32(vals[i]))
+			i++
+			if i < len(vals) {
+				e.Notify(1 * Ns)
+			}
+		}).Sensitive(e)
+		if err := k.Run(MaxTime); err != nil {
+			return false
+		}
+		// Expected change count: transitions in the applied sequence.
+		want := 0
+		prev := int32(0)
+		for _, v := range vals {
+			if int32(v) != prev {
+				want++
+				prev = int32(v)
+			}
+		}
+		return s.Read() == int32(vals[len(vals)-1]) && changes == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

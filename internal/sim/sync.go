@@ -1,0 +1,86 @@
+package sim
+
+// Mutex is a co-operative mutex for thread processes, equivalent to
+// sc_mutex. Lock order among contending threads follows wake-up order,
+// which the kernel keeps deterministic.
+type Mutex struct {
+	locked   bool
+	owner    string
+	unlocked *Event
+}
+
+// NewMutex creates an unlocked mutex.
+func NewMutex(k *Kernel, name string) *Mutex {
+	return &Mutex{unlocked: k.NewEvent(name + ".unlocked")}
+}
+
+// Lock blocks the calling thread until the mutex is acquired.
+func (m *Mutex) Lock(c *Ctx) {
+	for m.locked {
+		c.Wait(m.unlocked)
+	}
+	m.locked = true
+	m.owner = c.Name()
+}
+
+// TryLock acquires the mutex without blocking, reporting success.
+func (m *Mutex) TryLock(c *Ctx) bool {
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	m.owner = c.Name()
+	return true
+}
+
+// Unlock releases the mutex. Unlocking a mutex the caller does not hold
+// panics, mirroring sc_mutex's error behaviour.
+func (m *Mutex) Unlock(c *Ctx) {
+	if !m.locked || m.owner != c.Name() {
+		panic("sim: Unlock of mutex not held by caller " + c.Name())
+	}
+	m.locked = false
+	m.owner = ""
+	m.unlocked.NotifyDelta()
+}
+
+// Semaphore is a counting semaphore for thread processes, equivalent to
+// sc_semaphore.
+type Semaphore struct {
+	count  int
+	posted *Event
+}
+
+// NewSemaphore creates a semaphore with the given initial count (>= 0).
+func NewSemaphore(k *Kernel, name string, initial int) *Semaphore {
+	if initial < 0 {
+		panic("sim: semaphore initial count must be >= 0")
+	}
+	return &Semaphore{count: initial, posted: k.NewEvent(name + ".posted")}
+}
+
+// Value returns the current count.
+func (s *Semaphore) Value() int { return s.count }
+
+// Wait blocks until the count is positive, then decrements it.
+func (s *Semaphore) Wait(c *Ctx) {
+	for s.count == 0 {
+		c.Wait(s.posted)
+	}
+	s.count--
+}
+
+// TryWait decrements the count without blocking, reporting success.
+func (s *Semaphore) TryWait() bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Post increments the count and wakes waiters.
+func (s *Semaphore) Post() {
+	s.count++
+	s.posted.NotifyDelta()
+}

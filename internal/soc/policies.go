@@ -1,0 +1,22 @@
+package soc
+
+import (
+	"godpm/internal/acpi"
+	"godpm/internal/ip"
+	"godpm/internal/policy"
+	"godpm/internal/sim"
+)
+
+// Thin constructors keeping the policy package out of Run's switch body.
+
+func policyAlwaysOn(psm *acpi.PSM) ip.Manager { return policy.NewAlwaysOn(psm) }
+
+func policyTimeout(k *sim.Kernel, psm *acpi.PSM, timeout sim.Time, state acpi.State) ip.Manager {
+	return policy.NewFixedTimeout(k, psm, timeout, state)
+}
+
+func policyGreedy(psm *acpi.PSM, state acpi.State) ip.Manager {
+	return policy.NewGreedy(psm, state)
+}
+
+func policyOracle(psm *acpi.PSM) ip.Manager { return policy.NewOracle(psm) }

@@ -1,0 +1,571 @@
+// Package soc assembles and runs complete system-on-chip simulations: the
+// architecture of the paper's Fig. 1 — N functional IPs, each with a PSM
+// and a LEM, an optional GEM, a battery, a thermal sensor and a shared bus
+// — on the discrete-event kernel, with exact energy accounting and the
+// measurements Table 2 is computed from.
+package soc
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"godpm/internal/acpi"
+	"godpm/internal/battery"
+	"godpm/internal/bus"
+	"godpm/internal/gem"
+	"godpm/internal/ip"
+	"godpm/internal/lem"
+	"godpm/internal/power"
+	"godpm/internal/rules"
+	"godpm/internal/sim"
+	"godpm/internal/stats"
+	"godpm/internal/thermal"
+	"godpm/internal/trace"
+	"godpm/internal/workload"
+)
+
+// PolicyKind selects the energy-management policy driving every IP.
+type PolicyKind string
+
+// Available policies.
+const (
+	// PolicyDPM is the paper's architecture: LEM per IP, optional GEM.
+	PolicyDPM PolicyKind = "dpm"
+	// PolicyAlwaysOn is the Table 2 baseline: ON1, never sleep.
+	PolicyAlwaysOn PolicyKind = "alwayson"
+	// PolicyTimeout is classic fixed-timeout DPM.
+	PolicyTimeout PolicyKind = "timeout"
+	// PolicyGreedy sleeps immediately on idleness.
+	PolicyGreedy PolicyKind = "greedy"
+	// PolicyOracle sleeps with perfect idle knowledge.
+	PolicyOracle PolicyKind = "oracle"
+)
+
+// PredictorKind selects the LEM idle-time predictor.
+type PredictorKind string
+
+// Available predictors.
+const (
+	PredictorEWMA     PredictorKind = "ewma"
+	PredictorLast     PredictorKind = "last"
+	PredictorPerfect  PredictorKind = "perfect"
+	PredictorAdaptive PredictorKind = "adaptive"
+	PredictorQuantile PredictorKind = "quantile"
+)
+
+// BatteryConfig selects and parameterises the battery model.
+type BatteryConfig struct {
+	// Kind: "linear", "kibam" or "peukert".
+	Kind       string
+	CapacityJ  float64
+	InitialSoC float64
+	Mains      bool
+	// Linear rate-capacity penalty (0 disables).
+	RateK    float64
+	RefPower float64
+	// KiBaM parameters.
+	KiBaMC float64
+	KiBaMK float64
+	// Peukert parameters ("peukert" kind).
+	PeukertExponent float64
+	PeukertRefPower float64
+}
+
+// DefaultBattery returns a 20 J KiBaM battery at the given initial state of
+// charge — small enough that the experiments' loads move the class.
+func DefaultBattery(initialSoC float64) BatteryConfig {
+	return BatteryConfig{
+		Kind: "kibam", CapacityJ: 20, InitialSoC: initialSoC,
+		KiBaMC: 0.35, KiBaMK: 0.08,
+	}
+}
+
+func (b BatteryConfig) build() (battery.Model, error) {
+	switch b.Kind {
+	case "linear":
+		m := battery.NewLinear(b.CapacityJ, b.InitialSoC)
+		m.RateK = b.RateK
+		if b.RefPower > 0 {
+			m.RefPower = b.RefPower
+		}
+		return m, nil
+	case "kibam":
+		return battery.NewKiBaM(b.CapacityJ, b.InitialSoC, b.KiBaMC, b.KiBaMK), nil
+	case "peukert":
+		exp, ref := b.PeukertExponent, b.PeukertRefPower
+		if exp == 0 {
+			exp = 1.1
+		}
+		if ref == 0 {
+			ref = 1.0
+		}
+		return battery.NewPeukert(b.CapacityJ, b.InitialSoC, exp, ref), nil
+	default:
+		return nil, fmt.Errorf("soc: unknown battery kind %q", b.Kind)
+	}
+}
+
+// LEMOptions configures the per-IP LEMs when Policy == PolicyDPM.
+type LEMOptions struct {
+	// Table is the selection policy; nil uses rules.Table1().
+	Table *rules.Table
+	// Predictor kind (default EWMA) and its smoothing factor.
+	Predictor PredictorKind
+	Alpha     float64
+	// BreakEvenGating gates sleeping on the break-even comparison
+	// (default true; Disable for the ablation).
+	DisableBreakEven bool
+	AllowSoftOff     bool
+}
+
+func (o LEMOptions) makeConfig() lem.Config {
+	cfg := lem.NewConfig()
+	if o.Table != nil {
+		cfg.Table = o.Table
+	}
+	alpha := o.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	switch o.Predictor {
+	case PredictorLast:
+		cfg.Predictor = &lem.LastValue{}
+	case PredictorPerfect:
+		cfg.Predictor = lem.Perfect{}
+	case PredictorAdaptive:
+		cfg.Predictor = lem.NewAdaptive(0.9, 0.1, 0.3)
+	case PredictorQuantile:
+		cfg.Predictor = lem.NewWindowQuantile(16, 0.25)
+	default:
+		cfg.Predictor = lem.NewEWMA(alpha)
+	}
+	cfg.BreakEvenGating = !o.DisableBreakEven
+	cfg.AllowSoftOff = o.AllowSoftOff
+	return cfg
+}
+
+// IPSpec describes one IP block.
+type IPSpec struct {
+	Name string
+	// Profile is the power characterisation; nil uses the default.
+	Profile *power.Profile
+	// Sequence is the closed-loop workload; generate it with the workload
+	// package. Exactly one of Sequence and Arrivals must be set.
+	Sequence workload.Sequence
+	// Arrivals is the open-loop workload (absolute service-request times).
+	Arrivals workload.ArrivalSequence
+	// StaticPriority is the GEM priority (1 = highest); defaults to its
+	// position + 1.
+	StaticPriority int
+	// InitialState of the PSM (default ON1).
+	InitialState acpi.State
+}
+
+// Config describes a complete simulation.
+type Config struct {
+	IPs    []IPSpec
+	Policy PolicyKind
+	LEM    LEMOptions
+	// UseGEM attaches a global energy manager (PolicyDPM only).
+	UseGEM bool
+	GEM    gem.Config
+
+	Battery      BatteryConfig
+	Thermal      thermal.Params
+	InitialTempC float64
+
+	// PerIPThermal switches from the paper's single die sensor to a
+	// compact multi-node model: one thermal node per IP on a shared
+	// spreader. Each LEM then observes its own node's sensor and the GEM
+	// observes the hottest node. ThermalNetwork parameterises the model
+	// (zero value → thermal.DefaultNetworkParams).
+	PerIPThermal   bool
+	ThermalNetwork thermal.NetworkParams
+
+	// Regulator, when non-nil, models the DC-DC converter between the
+	// battery and the SoC: the battery supplies InputPower(load) instead
+	// of the load itself. The converter's heat is dissipated off-die (it
+	// does not enter the thermal node). The intermediate rail is the first
+	// IP profile's ON1 voltage.
+	Regulator *power.Regulator
+
+	// Bus configuration; BusWords == 0 disables the bus entirely.
+	Bus      bus.Config
+	BusWords int
+
+	// Timeout policy parameters.
+	Timeout           sim.Time
+	TimeoutSleepState acpi.State
+	// Greedy policy parameter.
+	GreedySleepState acpi.State
+
+	// TraceVCD, when non-nil, receives a VCD waveform of the PSM states,
+	// battery class and temperature class (viewable in GTKWave).
+	TraceVCD io.Writer
+	// TraceCSV, when non-nil, receives sampled scalars (temperature, state
+	// of charge, per-IP power) at every accountant tick.
+	TraceCSV io.Writer
+
+	// SampleInterval is the battery/thermal integration step
+	// (default 100 µs).
+	SampleInterval sim.Time
+	// Horizon bounds the simulation (default 120 s); a run that hits the
+	// horizon reports Completed == false.
+	Horizon sim.Time
+	// BaseClockHz converts simulated time to the paper's "cycles"
+	// (default: the ON1 frequency of the first IP).
+	BaseClockHz float64
+}
+
+// Result carries everything the experiment harness needs.
+type Result struct {
+	// EnergyJ is the total energy (IPs incl. transitions + bus).
+	EnergyJ    float64
+	EnergyByIP map[string]float64
+	BusEnergyJ float64
+
+	// AvgTempC is the time-weighted mean die temperature; AmbientC the
+	// configured ambient.
+	AvgTempC  float64
+	PeakTempC float64
+	AmbientC  float64
+
+	Ledger    *stats.Ledger
+	Duration  sim.Time
+	Completed bool
+	TasksDone int
+
+	// Cycles is Duration × BaseClockHz; WallSeconds the host time spent —
+	// together they give the paper's Kcycle/s simulation speed.
+	Cycles      float64
+	WallSeconds float64
+
+	FinalSoC           float64
+	FinalBatteryStatus battery.Status
+
+	LEMStats       map[string]lem.Stats
+	GEMEvaluations int
+	FanSwitches    int
+	BusOccupancy   float64
+}
+
+// KCyclesPerSec returns the simulation speed in the paper's unit.
+func (r *Result) KCyclesPerSec() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return r.Cycles / r.WallSeconds / 1000
+}
+
+func (c *Config) fillDefaults() error {
+	if len(c.IPs) == 0 {
+		return fmt.Errorf("soc: no IPs configured")
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyDPM
+	}
+	if c.Battery.Kind == "" {
+		c.Battery = DefaultBattery(0.95)
+	}
+	if c.Thermal == (thermal.Params{}) {
+		c.Thermal = thermal.DefaultParams()
+	}
+	if c.InitialTempC == 0 {
+		c.InitialTempC = c.Thermal.AmbientC
+	}
+	if c.Bus == (bus.Config{}) {
+		c.Bus = bus.DefaultConfig()
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 100 * sim.Us
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 120 * sim.Sec
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * sim.Ms
+	}
+	if c.TimeoutSleepState == acpi.State(0) || c.TimeoutSleepState.IsOn() {
+		c.TimeoutSleepState = acpi.SL2
+	}
+	if c.GreedySleepState == acpi.State(0) || c.GreedySleepState.IsOn() {
+		c.GreedySleepState = acpi.SL1
+	}
+	for i := range c.IPs {
+		spec := &c.IPs[i]
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("ip%d", i)
+		}
+		if spec.Profile == nil {
+			spec.Profile = power.DefaultProfile()
+		}
+		if err := spec.Profile.Validate(); err != nil {
+			return fmt.Errorf("soc: %s: %w", spec.Name, err)
+		}
+		if (len(spec.Sequence) > 0) == (len(spec.Arrivals) > 0) {
+			return fmt.Errorf("soc: %s: exactly one of Sequence and Arrivals must be set", spec.Name)
+		}
+		if err := spec.Sequence.Validate(); err != nil {
+			return fmt.Errorf("soc: %s: %w", spec.Name, err)
+		}
+		if err := spec.Arrivals.Validate(); err != nil {
+			return fmt.Errorf("soc: %s: %w", spec.Name, err)
+		}
+		if spec.StaticPriority == 0 {
+			spec.StaticPriority = i + 1
+		}
+		if spec.InitialState == acpi.State(0) {
+			spec.InitialState = acpi.ON1
+		}
+	}
+	if c.BaseClockHz == 0 {
+		c.BaseClockHz = c.IPs[0].Profile.On[0].FreqHz
+	}
+	if c.UseGEM && c.Policy != PolicyDPM {
+		return fmt.Errorf("soc: GEM requires the DPM policy")
+	}
+	if c.Regulator != nil {
+		if err := c.Regulator.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run builds the SoC and simulates it to completion (all sequences done) or
+// to the horizon.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	defer k.Shutdown()
+
+	model, err := cfg.Battery.build()
+	if err != nil {
+		return nil, err
+	}
+	pack := battery.NewPack(k, "battery", model, battery.DefaultThresholds(), cfg.Battery.Mains)
+	ipNames := make([]string, len(cfg.IPs))
+	for i := range cfg.IPs {
+		ipNames[i] = cfg.IPs[i].Name
+	}
+	plant := buildThermalPlant(k, &cfg, ipNames)
+
+	var theBus *bus.Bus
+	busEnergyMeter := 0.0
+	if cfg.BusWords > 0 {
+		theBus = bus.New(k, "bus", cfg.Bus)
+		theBus.OnEnergy(func(j float64) { busEnergyMeter += j })
+	}
+
+	ledger := &stats.Ledger{}
+	meters := make([]*stats.EnergyMeter, len(cfg.IPs))
+	psms := make([]*acpi.PSM, len(cfg.IPs))
+	lems := make(map[string]*lem.LEM)
+	ips := make([]*ip.IP, len(cfg.IPs))
+
+	var g *gem.GEM
+	if cfg.UseGEM {
+		g = gem.New(k, "gem", cfg.GEM, pack, plant.gemView())
+	}
+
+	for i, spec := range cfg.IPs {
+		meters[i] = stats.NewEnergyMeter(k, spec.Name)
+		psms[i] = acpi.NewPSM(k, spec.Name, spec.Profile, spec.InitialState)
+
+		var mgr ip.Manager
+		switch cfg.Policy {
+		case PolicyDPM:
+			l := lem.New(k, spec.Name+".lem", psms[i], pack, plant.lemSource(i), cfg.LEM.makeConfig())
+			if g != nil {
+				meter := meters[i]
+				id, err := g.Register(spec.Name, spec.StaticPriority, meter.Power)
+				if err != nil {
+					return nil, err
+				}
+				l.AttachGEM(g, id)
+			}
+			lems[spec.Name] = l
+			mgr = l
+		case PolicyAlwaysOn:
+			mgr = policyAlwaysOn(psms[i])
+		case PolicyTimeout:
+			mgr = policyTimeout(k, psms[i], cfg.Timeout, cfg.TimeoutSleepState)
+		case PolicyGreedy:
+			mgr = policyGreedy(psms[i], cfg.GreedySleepState)
+		case PolicyOracle:
+			mgr = policyOracle(psms[i])
+		default:
+			return nil, fmt.Errorf("soc: unknown policy %q", cfg.Policy)
+		}
+
+		ips[i] = ip.New(k, ip.Config{
+			Name:        spec.Name,
+			Profile:     spec.Profile,
+			Sequence:    spec.Sequence,
+			Arrivals:    spec.Arrivals,
+			Manager:     mgr,
+			PSM:         psms[i],
+			Meter:       meters[i],
+			Ledger:      ledger,
+			Bus:         theBus,
+			BusWords:    cfg.BusWords,
+			BusPriority: spec.StaticPriority,
+		})
+	}
+
+	// Optional tracing.
+	var vcd *trace.VCD
+	if cfg.TraceVCD != nil {
+		vcd = trace.NewVCD(cfg.TraceVCD, "soc", sim.Ns)
+		for i := range psms {
+			trace.AttachStringer(vcd, psms[i].StateSignal(), acpi.State.String)
+			vcd.AttachBool(psms[i].Transitioning())
+		}
+		trace.AttachStringer(vcd, pack.StatusSignal(), battery.Status.String)
+		trace.AttachStringer(vcd, plant.classSignal(), thermal.Class.String)
+		if err := vcd.WriteHeader(); err != nil {
+			return nil, err
+		}
+	}
+	var csv *trace.CSV
+	if cfg.TraceCSV != nil {
+		csv = trace.NewCSV(cfg.TraceCSV, k, cfg.SampleInterval)
+		csv.Probe("temp_c", plant.tempC)
+		csv.Probe("soc", pack.SoC)
+		for i, m := range meters {
+			csv.Probe(cfg.IPs[i].Name+"_w", m.Power)
+		}
+		csv.Start()
+	}
+
+	// Completion watcher: stop the kernel when every IP finished.
+	doneEvents := make([]*sim.Event, len(ips))
+	for i, b := range ips {
+		doneEvents[i] = b.Done()
+	}
+	k.Method("completion", func() {
+		for _, b := range ips {
+			if !b.Finished() {
+				return
+			}
+		}
+		k.Stop()
+	}).Sensitive(doneEvents...).DontInitialize()
+
+	// Power accountant: every SampleInterval, feed the battery and the
+	// thermal node with the average power since the last sample and record
+	// the temperature.
+	var tempSeries stats.Series
+	tempSeries.Add(0, cfg.InitialTempC)
+	peak := cfg.InitialTempC
+	lastE := 0.0
+	lastEs := make([]float64, len(meters))
+	perIPPower := make([]float64, len(meters))
+	lastSample := sim.Time(0)
+	totalEnergy := func() float64 {
+		e := busEnergyMeter
+		for _, m := range meters {
+			e += m.EnergyJ()
+		}
+		return e
+	}
+	railV := cfg.IPs[0].Profile.On[0].Vdd
+	batteryDraw := func(pLoad float64) float64 {
+		if cfg.Regulator == nil {
+			return pLoad
+		}
+		return cfg.Regulator.InputPower(pLoad, railV)
+	}
+	if g != nil && cfg.GEM.BusOccupancyLimit > 0 && theBus != nil {
+		g.SetBusProbe(theBus.Occupancy)
+	}
+	sample := func() {
+		now := k.Now()
+		dt := now - lastSample
+		if dt <= 0 {
+			return
+		}
+		e := totalEnergy()
+		pAvg := (e - lastE) / dt.Seconds()
+		for i, m := range meters {
+			me := m.EnergyJ()
+			perIPPower[i] = (me - lastEs[i]) / dt.Seconds()
+			lastEs[i] = me
+		}
+		pack.Step(batteryDraw(pAvg), dt)
+		plant.step(pAvg, perIPPower, dt)
+		lastE = e
+		lastSample = now
+		t := plant.tempC()
+		tempSeries.Add(now, t)
+		if t > peak {
+			peak = t
+		}
+		if g != nil && cfg.GEM.BusOccupancyLimit > 0 {
+			g.Reevaluate()
+		}
+	}
+	sampleTick := k.NewEvent("accountant.tick")
+	k.Method("accountant", func() {
+		sample()
+		sampleTick.Notify(cfg.SampleInterval)
+	}).Sensitive(sampleTick).DontInitialize()
+	sampleTick.Notify(cfg.SampleInterval)
+
+	wallStart := time.Now()
+	if err := k.Run(cfg.Horizon); err != nil {
+		return nil, err
+	}
+	wall := time.Since(wallStart).Seconds()
+	if vcd != nil && vcd.Err() != nil {
+		return nil, fmt.Errorf("soc: vcd trace: %w", vcd.Err())
+	}
+	if csv != nil && csv.Err() != nil {
+		return nil, fmt.Errorf("soc: csv trace: %w", csv.Err())
+	}
+
+	// Final partial sample so energy/temperature cover the full duration.
+	sample()
+
+	res := &Result{
+		EnergyByIP: make(map[string]float64, len(meters)),
+		Ledger:     ledger,
+		Duration:   k.Now(),
+		AmbientC:   plant.ambient,
+		BusEnergyJ: busEnergyMeter,
+	}
+	for i, m := range meters {
+		e := m.EnergyJ()
+		res.EnergyByIP[cfg.IPs[i].Name] = e
+		res.EnergyJ += e
+	}
+	res.EnergyJ += busEnergyMeter
+	res.AvgTempC = tempSeries.MeanUntil(k.Now())
+	res.PeakTempC = peak
+	res.Completed = true
+	for _, b := range ips {
+		res.TasksDone += b.TasksDone()
+		if !b.Finished() {
+			res.Completed = false
+		}
+	}
+	res.Cycles = res.Duration.Seconds() * cfg.BaseClockHz
+	res.WallSeconds = wall
+	res.FinalSoC = pack.SoC()
+	res.FinalBatteryStatus = pack.Status()
+	res.LEMStats = make(map[string]lem.Stats, len(lems))
+	for name, l := range lems {
+		res.LEMStats[name] = l.Stats()
+	}
+	if g != nil {
+		res.GEMEvaluations = g.Evaluations()
+		res.FanSwitches = g.FanSwitches()
+	}
+	if theBus != nil {
+		res.BusOccupancy = theBus.Occupancy()
+	}
+	return res, nil
+}

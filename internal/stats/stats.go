@@ -1,0 +1,239 @@
+// Package stats collects the measurements behind the paper's Table 2:
+// exact (piecewise-constant) energy integration, time-weighted temperature
+// statistics, and a per-task delay ledger from which the energy-saving,
+// temperature-reduction and delay-overhead percentages are computed.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"godpm/internal/sim"
+)
+
+// EnergyMeter integrates power over time exactly, assuming power is
+// piecewise constant between SetPower calls. Discrete energy quanta
+// (state-transition costs) are added with AddEnergy.
+type EnergyMeter struct {
+	k      *sim.Kernel
+	name   string
+	lastAt sim.Time
+	power  float64
+	energy float64
+}
+
+// NewEnergyMeter creates a meter starting at zero power at the current time.
+func NewEnergyMeter(k *sim.Kernel, name string) *EnergyMeter {
+	return &EnergyMeter{k: k, name: name, lastAt: k.Now()}
+}
+
+// Name returns the meter name.
+func (m *EnergyMeter) Name() string { return m.name }
+
+// settle accumulates energy up to the current simulation time.
+func (m *EnergyMeter) settle() {
+	now := m.k.Now()
+	if now > m.lastAt {
+		m.energy += m.power * (now - m.lastAt).Seconds()
+		m.lastAt = now
+	}
+}
+
+// SetPower changes the current power level (watts) as of the current
+// simulation time.
+func (m *EnergyMeter) SetPower(w float64) {
+	m.settle()
+	m.power = w
+}
+
+// AddPower adjusts the current power level by a delta (used when a
+// component contributes several independent terms).
+func (m *EnergyMeter) AddPower(dw float64) {
+	m.settle()
+	m.power += dw
+}
+
+// AddEnergy records an instantaneous energy quantum (joules).
+func (m *EnergyMeter) AddEnergy(j float64) {
+	m.energy += j
+}
+
+// Power returns the current power level.
+func (m *EnergyMeter) Power() float64 { return m.power }
+
+// EnergyJ returns the energy accumulated up to the current simulation time.
+func (m *EnergyMeter) EnergyJ() float64 {
+	m.settle()
+	return m.energy
+}
+
+// Series is a time-weighted scalar series (e.g. die temperature): each Add
+// declares the value holding from that time until the next Add. Statistics
+// treat the value as piecewise constant.
+type Series struct {
+	times []sim.Time
+	vals  []float64
+}
+
+// Add appends a sample; times must be non-decreasing.
+func (s *Series) Add(t sim.Time, v float64) {
+	if n := len(s.times); n > 0 && t < s.times[n-1] {
+		panic(fmt.Sprintf("stats: series times must be non-decreasing (%v after %v)", t, s.times[n-1]))
+	}
+	s.times = append(s.times, t)
+	s.vals = append(s.vals, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.times) }
+
+// Last returns the most recent value (0 when empty).
+func (s *Series) Last() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.vals[len(s.vals)-1]
+}
+
+// Max returns the maximum value (0 when empty).
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.vals {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Min returns the minimum value (0 when empty).
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.vals {
+		if v < min {
+			min = v
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// MeanUntil returns the time-weighted mean over [first sample, end]. With
+// fewer than one sample it returns 0.
+func (s *Series) MeanUntil(end sim.Time) float64 {
+	n := len(s.times)
+	if n == 0 {
+		return 0
+	}
+	if end < s.times[n-1] {
+		end = s.times[n-1]
+	}
+	span := end - s.times[0]
+	if span <= 0 {
+		return s.vals[0]
+	}
+	var area float64
+	for i := 0; i < n; i++ {
+		var until sim.Time
+		if i+1 < n {
+			until = s.times[i+1]
+		} else {
+			until = end
+		}
+		area += s.vals[i] * (until - s.times[i]).Seconds()
+	}
+	return area / span.Seconds()
+}
+
+// TaskRecord is the ledger entry for one executed task.
+type TaskRecord struct {
+	IP     string
+	TaskID int
+	// Request is when the IP wanted to start (after its idle gap).
+	Request sim.Time
+	// Start is when execution actually began (post wake-up/GEM stalls).
+	Start sim.Time
+	// Done is when execution completed.
+	Done sim.Time
+	// State names the ON state the task executed in.
+	State string
+}
+
+// Service returns the task's total service time (request to completion).
+func (r TaskRecord) Service() sim.Time { return r.Done - r.Request }
+
+// Ledger accumulates task records across all IPs.
+type Ledger struct {
+	records []TaskRecord
+}
+
+// Add appends a record.
+func (l *Ledger) Add(r TaskRecord) { l.records = append(l.records, r) }
+
+// Records returns the ledger contents (not a copy; callers must not mutate).
+func (l *Ledger) Records() []TaskRecord { return l.records }
+
+// Len returns the number of records.
+func (l *Ledger) Len() int { return len(l.records) }
+
+// key identifies a task across two runs of the same workload.
+type key struct {
+	ip string
+	id int
+}
+
+// DelayOverheadPct computes the paper's "average delay overhead": for every
+// task present in both ledgers, the relative service-time increase of dpm
+// over base, averaged over tasks, in percent. An error is returned when the
+// ledgers share no tasks or a base service time is zero.
+func DelayOverheadPct(base, dpm *Ledger) (float64, error) {
+	baseBy := make(map[key]TaskRecord, len(base.records))
+	for _, r := range base.records {
+		baseBy[key{r.IP, r.TaskID}] = r
+	}
+	var sum float64
+	var n int
+	for _, r := range dpm.records {
+		b, ok := baseBy[key{r.IP, r.TaskID}]
+		if !ok {
+			continue
+		}
+		bs := b.Service()
+		if bs <= 0 {
+			return 0, fmt.Errorf("stats: task %s/%d has non-positive baseline service", r.IP, r.TaskID)
+		}
+		sum += float64(r.Service()-bs) / float64(bs)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("stats: ledgers share no tasks")
+	}
+	return 100 * sum / float64(n), nil
+}
+
+// EnergySavingPct returns (base−dpm)/base·100.
+func EnergySavingPct(baseJ, dpmJ float64) (float64, error) {
+	if baseJ <= 0 {
+		return 0, fmt.Errorf("stats: non-positive baseline energy %v", baseJ)
+	}
+	return 100 * (baseJ - dpmJ) / baseJ, nil
+}
+
+// TempReductionPct compares the time-weighted average die temperatures on
+// the absolute Celsius scale, as the paper's Table 2 does:
+// (baseAvg − dpmAvg)/baseAvg·100. The baseline must be above ambient (a
+// baseline that never heats makes the ratio meaningless).
+func TempReductionPct(baseAvgC, dpmAvgC, ambientC float64) (float64, error) {
+	if baseAvgC <= ambientC {
+		return 0, fmt.Errorf("stats: baseline average %v not above ambient %v", baseAvgC, ambientC)
+	}
+	if baseAvgC <= 0 {
+		return 0, fmt.Errorf("stats: non-positive baseline average %v", baseAvgC)
+	}
+	return 100 * (baseAvgC - dpmAvgC) / baseAvgC, nil
+}

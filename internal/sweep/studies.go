@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"godpm/internal/acpi"
+	"godpm/internal/sim"
+	"godpm/internal/soc"
+	"godpm/internal/task"
+	"godpm/internal/workload"
+)
+
+// workloadFor builds the common single-IP workload the studies share.
+func workloadFor(seed int64, numTasks int, meanIdle sim.Time) workload.Sequence {
+	p := workload.HighActivity(seed, numTasks)
+	p.MeanIdle = meanIdle
+	p.PriorityWeights = [task.NumPriorities]float64{1, 2, 2, 1}
+	return p.MustGenerate()
+}
+
+// baseConfig is the shared single-IP scaffold.
+func baseConfig(seq workload.Sequence) soc.Config {
+	return soc.Config{
+		IPs:     []soc.IPSpec{{Name: "ip0", Sequence: seq}},
+		Battery: soc.DefaultBattery(0.95),
+		Horizon: 120 * sim.Sec,
+	}
+}
+
+// TimeoutStudy sweeps the classic fixed-timeout policy's timeout (in
+// milliseconds): too short wastes wake-ups, too long wastes idle power —
+// the curve the break-even analysis sidesteps.
+func TimeoutStudy(seed int64, numTasks int) Sweep {
+	seq := workloadFor(seed, numTasks, 10*sim.Ms)
+	return Sweep{
+		Name:   "timeout",
+		Param:  "timeout_ms",
+		Values: []float64{0.5, 1, 2, 5, 10, 20, 50},
+		Build: func(v float64) soc.Config {
+			cfg := baseConfig(seq)
+			cfg.Policy = soc.PolicyTimeout
+			cfg.Timeout = sim.Time(v * float64(sim.Ms))
+			cfg.TimeoutSleepState = acpi.SL2
+			return cfg
+		},
+		BuildBaseline: func(float64) soc.Config {
+			cfg := baseConfig(seq)
+			cfg.Policy = soc.PolicyAlwaysOn
+			return cfg
+		},
+	}
+}
+
+// ActivityStudy sweeps the workload's mean idle gap (milliseconds): DPM
+// savings grow with idleness while the always-on baseline burns idle power.
+func ActivityStudy(seed int64, numTasks int) Sweep {
+	build := func(v float64, policy soc.PolicyKind) soc.Config {
+		seq := workloadFor(seed, numTasks, sim.Time(v*float64(sim.Ms)))
+		cfg := baseConfig(seq)
+		cfg.Policy = policy
+		return cfg
+	}
+	return Sweep{
+		Name:   "activity",
+		Param:  "mean_idle_ms",
+		Values: []float64{1, 2, 5, 10, 20, 50, 100},
+		Build: func(v float64) soc.Config {
+			return build(v, soc.PolicyDPM)
+		},
+		BuildBaseline: func(v float64) soc.Config {
+			return build(v, soc.PolicyAlwaysOn)
+		},
+	}
+}
+
+// AlphaStudy sweeps the LEM's EWMA smoothing factor.
+func AlphaStudy(seed int64, numTasks int) Sweep {
+	seq := workloadFor(seed, numTasks, 10*sim.Ms)
+	return Sweep{
+		Name:   "alpha",
+		Param:  "ewma_alpha",
+		Values: []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0},
+		Build: func(v float64) soc.Config {
+			cfg := baseConfig(seq)
+			cfg.Policy = soc.PolicyDPM
+			cfg.LEM = soc.LEMOptions{Predictor: soc.PredictorEWMA, Alpha: v}
+			return cfg
+		},
+		BuildBaseline: func(float64) soc.Config {
+			cfg := baseConfig(seq)
+			cfg.Policy = soc.PolicyAlwaysOn
+			return cfg
+		},
+	}
+}
+
+// Studies returns every built-in study by name.
+func Studies(seed int64, numTasks int) map[string]Sweep {
+	return map[string]Sweep{
+		"timeout":  TimeoutStudy(seed, numTasks),
+		"activity": ActivityStudy(seed, numTasks),
+		"alpha":    AlphaStudy(seed, numTasks),
+	}
+}

@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"godpm/internal/soc"
+	"godpm/internal/workload"
+)
+
+func TestSweepValidate(t *testing.T) {
+	bad := []Sweep{
+		{},
+		{Name: "x", Param: "p"},
+		{Name: "x", Param: "p", Values: []float64{1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("sweep %d accepted", i)
+		}
+	}
+	if _, err := (Sweep{}).Run(); err == nil {
+		t.Error("invalid sweep ran")
+	}
+}
+
+func TestSweepRunsAndOrdersPoints(t *testing.T) {
+	seq := workload.HighActivity(3, 10).MustGenerate()
+	s := Sweep{
+		Name:   "test",
+		Param:  "dummy",
+		Values: []float64{1, 2, 3},
+		Build: func(v float64) soc.Config {
+			cfg := baseConfig(seq)
+			cfg.Policy = soc.PolicyDPM
+			return cfg
+		},
+	}
+	pts, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.Value != float64(i+1) {
+			t.Fatalf("point order wrong: %v", pts)
+		}
+		if p.EnergyJ <= 0 || !p.Completed {
+			t.Fatalf("point %d: %+v", i, p)
+		}
+	}
+}
+
+func TestTimeoutStudyShape(t *testing.T) {
+	s := TimeoutStudy(1, 15)
+	s.Values = []float64{1, 50} // keep the test fast: short vs long timeout
+	pts, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 50 ms timeout on ~10 ms idle gaps almost never sleeps: its saving
+	// must be below the 1 ms timeout's.
+	if pts[1].EnergySavingPct >= pts[0].EnergySavingPct {
+		t.Fatalf("long timeout saved more than short: %+v", pts)
+	}
+	for _, p := range pts {
+		if !p.Completed {
+			t.Fatal("study run incomplete")
+		}
+	}
+}
+
+func TestActivityStudyShape(t *testing.T) {
+	s := ActivityStudy(1, 15)
+	s.Values = []float64{1, 50}
+	pts, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More idleness → more DPM saving.
+	if pts[1].EnergySavingPct <= pts[0].EnergySavingPct {
+		t.Fatalf("idle-heavy workload saved less: %+v", pts)
+	}
+}
+
+func TestStudiesRegistry(t *testing.T) {
+	st := Studies(1, 10)
+	for _, name := range []string{"timeout", "activity", "alpha"} {
+		s, ok := st[name]
+		if !ok {
+			t.Fatalf("missing study %q", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	pts := []Point{
+		{Value: 1, EnergyJ: 0.5, DurationS: 2, AvgTempC: 50, Completed: true, EnergySavingPct: 30, DelayOverheadPct: 10},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "timeout_ms", pts, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"timeout_ms,energy_j", "energy_saving_pct", "1,0.5,2,50,true,30,10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	if err := WriteCSV(&sb2, "x", pts, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "saving") {
+		t.Error("baseline columns present without baselines")
+	}
+}

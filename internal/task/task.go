@@ -1,0 +1,74 @@
+// Package task defines the unit of work a functional IP executes — the
+// paper groups instructions into "tasks" issued on external service
+// requests — and the four-class task priority the LEM receives.
+package task
+
+import (
+	"fmt"
+
+	"godpm/internal/power"
+	"godpm/internal/sim"
+)
+
+// Priority is the task priority, coded in the paper's four classes.
+type Priority int
+
+// Priorities in increasing urgency.
+const (
+	Low Priority = iota
+	Medium
+	High
+	VeryHigh
+	NumPriorities = int(VeryHigh) + 1
+)
+
+// String returns the paper's name for the priority.
+func (p Priority) String() string {
+	switch p {
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	case VeryHigh:
+		return "VeryHigh"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// ParsePriority converts a name (as in Table 1: "Low", "Medium", "High",
+// "VeryHigh") to a Priority.
+func ParsePriority(name string) (Priority, error) {
+	for p := Priority(0); int(p) < NumPriorities; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("task: unknown priority %q", name)
+}
+
+// Task is one sequence of instructions the IP executes on a service request.
+type Task struct {
+	ID           int
+	Instructions int64
+	Class        power.InstructionClass
+	Priority     Priority
+	// Release is when the service request arrives at the IP.
+	Release sim.Time
+}
+
+// Validate checks the task is executable.
+func (t Task) Validate() error {
+	if t.Instructions <= 0 {
+		return fmt.Errorf("task %d: non-positive instruction count", t.ID)
+	}
+	if t.Class < 0 || t.Class >= power.NumInstrClasses {
+		return fmt.Errorf("task %d: invalid instruction class %d", t.ID, int(t.Class))
+	}
+	if t.Priority < 0 || Priority(int(t.Priority)) > VeryHigh {
+		return fmt.Errorf("task %d: invalid priority %d", t.ID, int(t.Priority))
+	}
+	return nil
+}

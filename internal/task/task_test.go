@@ -1,0 +1,56 @@
+package task
+
+import (
+	"testing"
+
+	"godpm/internal/power"
+)
+
+func TestPriorityStringsAndParse(t *testing.T) {
+	want := map[Priority]string{
+		Low: "Low", Medium: "Medium", High: "High", VeryHigh: "VeryHigh",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+		got, err := ParsePriority(s)
+		if err != nil || got != p {
+			t.Errorf("ParsePriority(%q) = %v,%v", s, got, err)
+		}
+	}
+	if _, err := ParsePriority("Urgent"); err == nil {
+		t.Error("bogus priority parsed")
+	}
+	if Priority(9).String() != "Priority(9)" {
+		t.Errorf("out-of-range String() = %q", Priority(9).String())
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	if !(Low < Medium && Medium < High && High < VeryHigh) {
+		t.Fatal("priority ordering broken")
+	}
+	if NumPriorities != 4 {
+		t.Fatalf("NumPriorities = %d", NumPriorities)
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	good := Task{ID: 1, Instructions: 100, Class: power.InstrALU, Priority: Medium}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Task{
+		{ID: 2, Instructions: 0, Class: power.InstrALU, Priority: Low},
+		{ID: 3, Instructions: -5, Class: power.InstrALU, Priority: Low},
+		{ID: 4, Instructions: 10, Class: power.InstructionClass(99), Priority: Low},
+		{ID: 5, Instructions: 10, Class: power.InstrALU, Priority: Priority(-1)},
+		{ID: 6, Instructions: 10, Class: power.InstrALU, Priority: Priority(7)},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("task %d accepted", b.ID)
+		}
+	}
+}

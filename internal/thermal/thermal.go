@@ -1,0 +1,189 @@
+// Package thermal models the chip's temperature and the quantised thermal
+// sensor the energy managers observe. The paper codes temperature in three
+// classes (Low, Medium, High) and lets the GEM "switch on a supplementary
+// fan" when resources run out; we model the die as a first-order RC thermal
+// network whose resistance to ambient drops when the fan runs, and a sensor
+// with hysteresis so the class signal does not chatter at a threshold.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"godpm/internal/sim"
+)
+
+// Class is the quantised temperature level.
+type Class int
+
+// Temperature classes.
+const (
+	LowTemp Class = iota
+	MediumTemp
+	HighTemp
+	NumClasses = int(HighTemp) + 1
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case LowTemp:
+		return "Low"
+	case MediumTemp:
+		return "Medium"
+	case HighTemp:
+		return "High"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ParseClass converts a name back to a Class.
+func ParseClass(name string) (Class, error) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("thermal: unknown class %q", name)
+}
+
+// Params describes the RC thermal network and the sensor.
+type Params struct {
+	AmbientC float64 // ambient temperature, °C
+	RthKperW float64 // junction-to-ambient thermal resistance, K/W
+	CthJperK float64 // thermal capacitance, J/K
+	// FanFactor multiplies Rth while the fan runs (0 < FanFactor < 1).
+	FanFactor float64
+	// MediumAboveC / HighAboveC are the rising class thresholds in °C.
+	MediumAboveC float64
+	HighAboveC   float64
+	// HysteresisC is subtracted from a threshold when falling back.
+	HysteresisC float64
+}
+
+// DefaultParams returns the characterisation used in the experiments: a die
+// that settles ≈0.65 W of sustained load around 61 °C over a 45 °C ambient
+// (comfortably "Low"), crosses into "Medium" under the hottest
+// single-IP instruction mixes, and reaches "High" only under multi-IP
+// load or an externally heated start. The time constant of a few
+// milliseconds lets the temperature track the workload at the simulated
+// time scales.
+func DefaultParams() Params {
+	return Params{
+		AmbientC:     45,
+		RthKperW:     25,
+		CthJperK:     1e-4, // tau = Rth·Cth = 2.5 ms
+		FanFactor:    0.4,
+		MediumAboveC: 68,
+		HighAboveC:   80,
+		HysteresisC:  2,
+	}
+}
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	if p.RthKperW <= 0 || p.CthJperK <= 0 {
+		return fmt.Errorf("thermal: non-positive Rth or Cth")
+	}
+	if p.FanFactor <= 0 || p.FanFactor >= 1 {
+		return fmt.Errorf("thermal: FanFactor %v outside (0,1)", p.FanFactor)
+	}
+	if p.MediumAboveC <= p.AmbientC || p.HighAboveC <= p.MediumAboveC {
+		return fmt.Errorf("thermal: thresholds must satisfy ambient < medium < high")
+	}
+	if p.HysteresisC < 0 || p.HysteresisC >= p.HighAboveC-p.MediumAboveC {
+		return fmt.Errorf("thermal: hysteresis %v out of range", p.HysteresisC)
+	}
+	return nil
+}
+
+// Node is the simulation component: die temperature plus the quantised
+// sensor class exposed as a signal.
+type Node struct {
+	p     Params
+	th    SensorThresholds
+	tempC float64
+	fanOn bool
+	class *sim.Signal[Class]
+}
+
+// NewNode creates a thermal node at the given initial temperature.
+func NewNode(k *sim.Kernel, name string, p Params, initialC float64) *Node {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	th := SensorThresholds{MediumAboveC: p.MediumAboveC, HighAboveC: p.HighAboveC, HysteresisC: p.HysteresisC}
+	n := &Node{p: p, th: th, tempC: initialC}
+	n.class = sim.NewSignal(k, name+".class", th.classify(initialC, LowTemp))
+	return n
+}
+
+// Step integrates dT/dt = P/Cth − (T − Tamb)/(Rth·Cth) over dt with the
+// given dissipated power, then refreshes the sensor class.
+func (n *Node) Step(power float64, dt sim.Time) {
+	if power < 0 {
+		power = 0
+	}
+	rth := n.p.RthKperW
+	if n.fanOn {
+		rth *= n.p.FanFactor
+	}
+	tau := rth * n.p.CthJperK
+	remaining := dt.Seconds()
+	maxStep := tau / 10
+	for remaining > 1e-15 {
+		h := remaining
+		if h > maxStep {
+			h = maxStep
+		}
+		dT := (power/n.p.CthJperK - (n.tempC-n.p.AmbientC)/tau) * h
+		n.tempC += dT
+		remaining -= h
+	}
+	n.class.Write(n.th.classify(n.tempC, n.class.Read()))
+}
+
+// TempC returns the current die temperature.
+func (n *Node) TempC() float64 { return n.tempC }
+
+// Class returns the current sensor class.
+func (n *Node) Class() Class { return n.class.Read() }
+
+// ClassSignal exposes the sensor class for sensitivity and tracing.
+func (n *Node) ClassSignal() *sim.Signal[Class] { return n.class }
+
+// SetFan switches the supplementary fan (GEM control).
+func (n *Node) SetFan(on bool) { n.fanOn = on }
+
+// FanOn reports the fan state.
+func (n *Node) FanOn() bool { return n.fanOn }
+
+// Params returns the node's characterisation.
+func (n *Node) Params() Params { return n.p }
+
+// SteadyStateC returns the temperature the node would settle at under a
+// constant power draw (with the current fan setting) — used by the LEM to
+// predict the temperature at the end of a task.
+func (n *Node) SteadyStateC(power float64) float64 {
+	rth := n.p.RthKperW
+	if n.fanOn {
+		rth *= n.p.FanFactor
+	}
+	return n.p.AmbientC + power*rth
+}
+
+// PredictClass estimates the sensor class after running at `power` for dt,
+// without mutating the node — the LEM's end-of-task temperature estimate.
+// It uses the exact exponential solution of the RC ODE.
+func (n *Node) PredictClass(power float64, dt sim.Time) Class {
+	rth := n.p.RthKperW
+	if n.fanOn {
+		rth *= n.p.FanFactor
+	}
+	tau := rth * n.p.CthJperK
+	tInf := n.p.AmbientC + power*rth
+	x := dt.Seconds() / tau
+	t := tInf + (n.tempC-tInf)*math.Exp(-x)
+	return n.th.classify(t, n.class.Read())
+}

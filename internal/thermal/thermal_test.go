@@ -1,0 +1,227 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"godpm/internal/sim"
+)
+
+func TestClassStringsAndParse(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("round trip failed for %v", c)
+		}
+	}
+	if _, err := ParseClass("Scorching"); err == nil {
+		t.Error("bogus class parsed")
+	}
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mut := []func(*Params){
+		func(p *Params) { p.RthKperW = 0 },
+		func(p *Params) { p.CthJperK = -1 },
+		func(p *Params) { p.FanFactor = 1.0 },
+		func(p *Params) { p.MediumAboveC = p.AmbientC },
+		func(p *Params) { p.HighAboveC = p.MediumAboveC },
+		func(p *Params) { p.HysteresisC = 100 },
+	}
+	for i, m := range mut {
+		p := DefaultParams()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestHeatingTowardsSteadyState(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "die", DefaultParams(), 45)
+	want := n.SteadyStateC(0.648) // ≈ 45 + 0.648·50 = 77.4
+	for i := 0; i < 100; i++ {
+		n.Step(0.648, sim.Ms) // 100 ms >> tau of 5 ms
+	}
+	if math.Abs(n.TempC()-want) > 0.5 {
+		t.Fatalf("TempC = %v, want ≈%v", n.TempC(), want)
+	}
+}
+
+func TestCoolingTowardsAmbient(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "die", DefaultParams(), 90)
+	for i := 0; i < 100; i++ {
+		n.Step(0, sim.Ms)
+	}
+	if math.Abs(n.TempC()-45) > 0.5 {
+		t.Fatalf("TempC = %v, want ambient 45", n.TempC())
+	}
+}
+
+func TestFanLowersSteadyState(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "die", DefaultParams(), 45)
+	noFan := n.SteadyStateC(1.0)
+	n.SetFan(true)
+	withFan := n.SteadyStateC(1.0)
+	if withFan >= noFan {
+		t.Fatalf("fan did not lower steady state: %v vs %v", withFan, noFan)
+	}
+	if !n.FanOn() {
+		t.Fatal("FanOn not reported")
+	}
+}
+
+func TestFanSpeedsCooling(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewNode(k, "a", DefaultParams(), 90)
+	b := NewNode(k, "b", DefaultParams(), 90)
+	b.SetFan(true)
+	for i := 0; i < 3; i++ {
+		a.Step(0, sim.Ms)
+		b.Step(0, sim.Ms)
+	}
+	if b.TempC() >= a.TempC() {
+		t.Fatalf("fan-cooled node %v not cooler than %v", b.TempC(), a.TempC())
+	}
+}
+
+func TestSensorClasses(t *testing.T) {
+	k := sim.NewKernel()
+	cases := []struct {
+		temp float64
+		want Class
+	}{
+		{45, LowTemp}, {67.9, LowTemp}, {68, MediumTemp},
+		{79.9, MediumTemp}, {80, HighTemp}, {120, HighTemp},
+	}
+	for _, c := range cases {
+		n := NewNode(k, "die", DefaultParams(), c.temp)
+		if got := n.Class(); got != c.want {
+			t.Errorf("class at %v°C = %v, want %v", c.temp, got, c.want)
+		}
+	}
+}
+
+// settle applies pending signal updates (Step called outside a process
+// schedules the class write; the kernel must run to apply it).
+func settle(t *testing.T, k *sim.Kernel) {
+	t.Helper()
+	if err := k.Run(k.Now() + 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensorHysteresis(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "die", DefaultParams(), 85) // High
+	if n.Class() != HighTemp {
+		t.Fatal("setup: want HighTemp")
+	}
+	// Cool to just below the High threshold but within hysteresis: stays High.
+	n.tempC = 79
+	n.Step(0, sim.Time(1)) // negligible dt, just to reclassify
+	settle(t, k)
+	if n.Class() != HighTemp {
+		t.Fatalf("class at 79°C falling = %v, want HighTemp (hysteresis)", n.Class())
+	}
+	// Below threshold minus hysteresis: drops to Medium.
+	n.tempC = 77
+	n.Step(0, sim.Time(1))
+	settle(t, k)
+	if n.Class() != MediumTemp {
+		t.Fatalf("class at 77°C falling = %v, want MediumTemp", n.Class())
+	}
+	// Rising again needs to reach the full threshold.
+	n.tempC = 79
+	n.Step(0, sim.Time(1))
+	settle(t, k)
+	if n.Class() != MediumTemp {
+		t.Fatalf("class at 79°C rising = %v, want MediumTemp", n.Class())
+	}
+}
+
+func TestClassSignalFiresOnChange(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "die", DefaultParams(), 45)
+	var classes []Class
+	n.ClassSignal().OnChange(func(_ sim.Time, c Class) { classes = append(classes, c) })
+	e := k.NewEvent("tick")
+	i := 0
+	k.Method("heat", func() {
+		n.Step(2.0, sim.Ms) // strong heating
+		i++
+		if i < 20 {
+			e.Notify(sim.Ms)
+		}
+	}).Sensitive(e)
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) < 2 {
+		t.Fatalf("classes observed %v, want Low→Medium→High ramp", classes)
+	}
+	if classes[len(classes)-1] != HighTemp {
+		t.Fatalf("final class %v, want HighTemp", classes[len(classes)-1])
+	}
+}
+
+func TestPredictClassMatchesStepping(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "die", DefaultParams(), 50)
+	predicted := n.PredictClass(1.5, 20*sim.Ms)
+	// Actually run it.
+	m := NewNode(k, "die2", DefaultParams(), 50)
+	for i := 0; i < 20; i++ {
+		m.Step(1.5, sim.Ms)
+	}
+	settle(t, k)
+	if got := m.Class(); got != predicted {
+		t.Fatalf("predicted %v, stepping gave %v (T=%v)", predicted, got, m.TempC())
+	}
+	// Prediction must not mutate.
+	if n.TempC() != 50 {
+		t.Fatalf("prediction mutated temperature to %v", n.TempC())
+	}
+}
+
+func TestNegativePowerIgnored(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "die", DefaultParams(), 45)
+	n.Step(-10, sim.Ms)
+	if n.TempC() < 44.9 {
+		t.Fatalf("negative power cooled below ambient: %v", n.TempC())
+	}
+}
+
+// Property: temperature never overshoots the band spanned by the initial
+// temperature and the steady state, for any power level.
+func TestTemperatureBoundedProperty(t *testing.T) {
+	f := func(p uint8, t0 uint8) bool {
+		k := sim.NewKernel()
+		power := float64(p) / 100 // 0..2.55 W
+		start := 45 + float64(t0%60)
+		n := NewNode(k, "die", DefaultParams(), start)
+		ss := n.SteadyStateC(power)
+		lo, hi := math.Min(start, ss)-1e-6, math.Max(start, ss)+1e-6
+		for i := 0; i < 50; i++ {
+			n.Step(power, sim.Ms)
+			if n.TempC() < lo || n.TempC() > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

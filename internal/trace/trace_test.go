@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"godpm/internal/sim"
+)
+
+func TestIDCodeUniqueAndPrintable(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("non-printable rune in id %q", id)
+			}
+		}
+	}
+}
+
+func TestBinstr(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		w    int
+		want string
+	}{
+		{0, 4, "0000"},
+		{5, 4, "0101"},
+		{255, 8, "11111111"},
+		{1, 1, "1"},
+		{6, 3, "110"},
+	}
+	for _, c := range cases {
+		if got := binstr(c.v, c.w); got != c.want {
+			t.Errorf("binstr(%d,%d) = %q, want %q", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestVCDHeaderAndChanges(t *testing.T) {
+	k := sim.NewKernel()
+	var sb strings.Builder
+	v := NewVCD(&sb, "soc", sim.Ns)
+	b := sim.NewSignal(k, "enable", false)
+	n := sim.NewSignal(k, "count", 0)
+	r := sim.NewSignal(k, "power", 0.0)
+	v.AttachBool(b)
+	AttachInt(v, n, 8)
+	v.AttachReal(r)
+	if err := v.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	e := k.NewEvent("tick")
+	i := 0
+	k.Method("drv", func() {
+		i++
+		b.Write(i%2 == 1)
+		n.Write(i)
+		r.Write(float64(i) * 0.5)
+		if i < 3 {
+			e.Notify(10 * sim.Ns)
+		}
+	}).Sensitive(e)
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1 ns $end",
+		"$scope module soc $end",
+		"$var wire 1 ! enable $end",
+		"$var wire 8 \" count $end",
+		"$var real 64 # power $end",
+		"$dumpvars",
+		"#0",
+		"1!",
+		"b00000001 \"",
+		"r0.5 #",
+		"#10",
+		"#20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD output missing %q\n---\n%s", want, out)
+		}
+	}
+	if v.Err() != nil {
+		t.Fatalf("VCD error: %v", v.Err())
+	}
+}
+
+func TestVCDStringerAttachment(t *testing.T) {
+	k := sim.NewKernel()
+	var sb strings.Builder
+	v := NewVCD(&sb, "m", sim.Ns)
+	s := sim.NewSignal(k, "state", "idle state")
+	AttachStringer(v, s, func(x string) string { return x })
+	if err := v.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	k.Method("drv", func() { s.Write("busy") })
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sidle_state") {
+		t.Errorf("initial string value not escaped/dumped:\n%s", out)
+	}
+	if !strings.Contains(out, "sbusy") {
+		t.Errorf("string change not dumped:\n%s", out)
+	}
+}
+
+func TestVCDRegisterAfterHeaderPanics(t *testing.T) {
+	k := sim.NewKernel()
+	var sb strings.Builder
+	v := NewVCD(&sb, "m", sim.Ns)
+	if err := v.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v.AttachBool(sim.NewSignal(k, "late", false))
+}
+
+func TestVCDTimestampMonotonic(t *testing.T) {
+	k := sim.NewKernel()
+	var sb strings.Builder
+	v := NewVCD(&sb, "m", sim.Ns)
+	s := sim.NewSignal(k, "x", 0)
+	AttachInt(v, s, 4)
+	if err := v.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	e := k.NewEvent("t")
+	i := 0
+	k.Method("d", func() {
+		i++
+		s.Write(i)
+		if i < 5 {
+			e.Notify(3 * sim.Ns)
+		}
+	}).Sensitive(e)
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int64
+			if _, err := fmtSscanf(line, &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts < last {
+				t.Fatalf("timestamps not monotonic: %d after %d", ts, last)
+			}
+			last = ts
+		}
+	}
+}
+
+func fmtSscanf(line string, ts *int64) (int, error) {
+	var n int64
+	var count int
+	for _, r := range line[1:] {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int64(r-'0')
+		count++
+	}
+	*ts = n
+	if count == 0 {
+		return 0, errNoDigits
+	}
+	return 1, nil
+}
+
+var errNoDigits = &parseError{}
+
+type parseError struct{}
+
+func (*parseError) Error() string { return "no digits" }
+
+func TestCSVSampling(t *testing.T) {
+	k := sim.NewKernel()
+	var sb strings.Builder
+	c := NewCSV(&sb, k, 10*sim.Ns)
+	val := 0.0
+	c.Probe("power_w", func() float64 { return val })
+	c.Probe("temp_c", func() float64 { return 2 * val })
+	c.Start()
+	e := k.NewEvent("tick")
+	i := 0
+	k.Method("d", func() {
+		i++
+		val = float64(i)
+		if i < 10 {
+			e.Notify(10 * sim.Ns)
+		}
+	}).Sensitive(e)
+	if err := k.Run(100 * sim.Ns); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "time_s,power_w,temp_c" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if c.Rows() < 9 {
+		t.Fatalf("Rows() = %d, want >= 9\n%s", c.Rows(), out)
+	}
+	if !strings.Contains(out, ",2,4") {
+		t.Errorf("expected sample with probes 2 and 4:\n%s", out)
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+}
+
+func TestCSVProbeAfterStartPanics(t *testing.T) {
+	k := sim.NewKernel()
+	var sb strings.Builder
+	c := NewCSV(&sb, k, sim.Ns)
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Probe("late", func() float64 { return 0 })
+}
+
+func TestCSVBadIntervalPanics(t *testing.T) {
+	k := sim.NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSV(&strings.Builder{}, k, 0)
+}

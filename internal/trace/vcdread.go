@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"godpm/internal/sim"
+)
+
+// VCDFile is a parsed value change dump: the declared variables and the
+// ordered list of changes. The reader understands the subset the VCD
+// writer emits (single scope, wire/real variables, scalar/vector/real/
+// string value changes) — enough for round-trip tests and for post-
+// processing dumped waveforms programmatically.
+type VCDFile struct {
+	Timescale sim.Time
+	Module    string
+	Vars      []VCDVar
+	Changes   []VCDChange
+}
+
+// VCDVar is one declared variable.
+type VCDVar struct {
+	ID    string
+	Name  string
+	Kind  string
+	Width int
+}
+
+// VCDChange is one value change record.
+type VCDChange struct {
+	Time  sim.Time // absolute, in Timescale units already multiplied out
+	ID    string
+	Value string // "0"/"1", binary vector, real literal, or string payload
+}
+
+// VarByName finds a declared variable.
+func (f *VCDFile) VarByName(name string) (VCDVar, bool) {
+	for _, v := range f.Vars {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return VCDVar{}, false
+}
+
+// ChangesOf returns the changes of one variable id, in order.
+func (f *VCDFile) ChangesOf(id string) []VCDChange {
+	var out []VCDChange
+	for _, c := range f.Changes {
+		if c.ID == id {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ValueAt returns the last value of a variable at or before t (ok reports
+// whether any change applied by then).
+func (f *VCDFile) ValueAt(id string, t sim.Time) (string, bool) {
+	val, ok := "", false
+	for _, c := range f.Changes {
+		if c.Time > t {
+			break
+		}
+		if c.ID == id {
+			val, ok = c.Value, true
+		}
+	}
+	return val, ok
+}
+
+// ReadVCD parses a VCD stream produced by this package's writer.
+func ReadVCD(r io.Reader) (*VCDFile, error) {
+	f := &VCDFile{Timescale: sim.Ns}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	inDefs := true
+	var now sim.Time
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$timescale"):
+			ts, err := parseTimescale(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			f.Timescale = ts
+		case strings.HasPrefix(line, "$scope"):
+			fields := strings.Fields(line)
+			if len(fields) >= 3 {
+				f.Module = fields[2]
+			}
+		case strings.HasPrefix(line, "$var"):
+			v, err := parseVar(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			f.Vars = append(f.Vars, v)
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		case strings.HasPrefix(line, "$"):
+			// $date/$version/$upscope/$dumpvars/$end blocks: payload lines
+			// that are not value changes are skipped below.
+			continue
+		case strings.HasPrefix(line, "#"):
+			n, err := strconv.ParseInt(line[1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad timestamp %q", lineNo, line)
+			}
+			now = sim.Time(n) * f.Timescale
+		default:
+			if inDefs && !strings.HasPrefix(line, "$") && f.Module == "" {
+				continue // header free text ($date/$version payloads)
+			}
+			ch, ok := parseChange(line, now)
+			if ok {
+				f.Changes = append(f.Changes, ch)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func parseTimescale(line string) (sim.Time, error) {
+	fields := strings.Fields(line)
+	// "$timescale 1 ns $end"
+	if len(fields) < 3 {
+		return 0, fmt.Errorf("bad timescale %q", line)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, fmt.Errorf("bad timescale multiplier %q", fields[1])
+	}
+	var unit sim.Time
+	switch fields[2] {
+	case "ps":
+		unit = sim.Ps
+	case "ns":
+		unit = sim.Ns
+	case "us":
+		unit = sim.Us
+	case "ms":
+		unit = sim.Ms
+	case "s":
+		unit = sim.Sec
+	default:
+		return 0, fmt.Errorf("unknown timescale unit %q", fields[2])
+	}
+	return sim.Time(n) * unit, nil
+}
+
+func parseVar(line string) (VCDVar, error) {
+	// "$var wire 8 ! name $end"
+	fields := strings.Fields(line)
+	if len(fields) < 6 {
+		return VCDVar{}, fmt.Errorf("bad $var line %q", line)
+	}
+	width, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return VCDVar{}, fmt.Errorf("bad width in %q", line)
+	}
+	return VCDVar{Kind: fields[1], Width: width, ID: fields[3], Name: fields[4]}, nil
+}
+
+// parseChange decodes a value-change line; non-change lines (header prose)
+// return ok=false.
+func parseChange(line string, now sim.Time) (VCDChange, bool) {
+	switch line[0] {
+	case '0', '1', 'x', 'z':
+		return VCDChange{Time: now, ID: line[1:], Value: string(line[0])}, true
+	case 'b', 'B':
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			return VCDChange{}, false
+		}
+		return VCDChange{Time: now, ID: parts[1], Value: parts[0][1:]}, true
+	case 'r', 'R':
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			return VCDChange{}, false
+		}
+		return VCDChange{Time: now, ID: parts[1], Value: parts[0][1:]}, true
+	case 's', 'S':
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			return VCDChange{}, false
+		}
+		return VCDChange{Time: now, ID: parts[1], Value: parts[0][1:]}, true
+	default:
+		return VCDChange{}, false
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"godpm/internal/sim"
+)
+
+// buildDump runs a tiny simulation with three traced signals and returns
+// the VCD text.
+func buildDump(t *testing.T) string {
+	t.Helper()
+	k := sim.NewKernel()
+	var sb strings.Builder
+	v := NewVCD(&sb, "soc", sim.Ns)
+	b := sim.NewSignal(k, "enable", false)
+	n := sim.NewSignal(k, "count", 0)
+	r := sim.NewSignal(k, "power", 0.0)
+	s := sim.NewSignal(k, "state", "idle")
+	v.AttachBool(b)
+	AttachInt(v, n, 8)
+	v.AttachReal(r)
+	AttachStringer(v, s, func(x string) string { return x })
+	if err := v.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	e := k.NewEvent("tick")
+	i := 0
+	k.Method("drv", func() {
+		i++
+		b.Write(i%2 == 1)
+		n.Write(i)
+		r.Write(float64(i) / 2)
+		if i == 2 {
+			s.Write("busy")
+		}
+		if i < 4 {
+			e.Notify(10 * sim.Ns)
+		}
+	}).Sensitive(e)
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestVCDRoundTrip(t *testing.T) {
+	dump := buildDump(t)
+	f, err := ReadVCD(strings.NewReader(dump))
+	if err != nil {
+		t.Fatalf("ReadVCD: %v\n---\n%s", err, dump)
+	}
+	if f.Module != "soc" || f.Timescale != sim.Ns {
+		t.Fatalf("module %q timescale %v", f.Module, f.Timescale)
+	}
+	if len(f.Vars) != 4 {
+		t.Fatalf("vars = %+v", f.Vars)
+	}
+	en, ok := f.VarByName("enable")
+	if !ok || en.Width != 1 || en.Kind != "wire" {
+		t.Fatalf("enable var %+v ok=%v", en, ok)
+	}
+	cnt, ok := f.VarByName("count")
+	if !ok || cnt.Width != 8 {
+		t.Fatalf("count var %+v", cnt)
+	}
+
+	// The $dumpvars initial value (0) is recorded first, then the signal
+	// toggles every 10 ns starting at t=0: 1,0,1,0.
+	changes := f.ChangesOf(en.ID)
+	if len(changes) != 5 {
+		t.Fatalf("enable changes = %+v", changes)
+	}
+	wantVals := []string{"0", "1", "0", "1", "0"}
+	wantTimes := []sim.Time{0, 0, 10 * sim.Ns, 20 * sim.Ns, 30 * sim.Ns}
+	for i, c := range changes {
+		if c.Value != wantVals[i] || c.Time != wantTimes[i] {
+			t.Fatalf("enable change %d = %+v, want %q at %v", i, c, wantVals[i], wantTimes[i])
+		}
+	}
+
+	// count at 25 ns should be the value written at 20 ns: 3 → 00000011.
+	val, ok := f.ValueAt(cnt.ID, 25*sim.Ns)
+	if !ok || val != "00000011" {
+		t.Fatalf("count at 25ns = %q,%v", val, ok)
+	}
+
+	// real and string payloads survive.
+	pow, _ := f.VarByName("power")
+	if v, ok := f.ValueAt(pow.ID, 5*sim.Ns); !ok || v != "0.5" {
+		t.Fatalf("power at 5ns = %q,%v", v, ok)
+	}
+	st, _ := f.VarByName("state")
+	if v, ok := f.ValueAt(st.ID, 30*sim.Ns); !ok || v != "busy" {
+		t.Fatalf("state at 30ns = %q,%v", v, ok)
+	}
+}
+
+func TestVCDValueAtBeforeFirstChange(t *testing.T) {
+	dump := buildDump(t)
+	f, err := ReadVCD(strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// $dumpvars initial values are recorded at t=0 before the first
+	// timestamp; they count as changes at time 0.
+	en, _ := f.VarByName("enable")
+	if _, ok := f.ValueAt(en.ID, 0); !ok {
+		t.Fatal("initial value not visible at t=0")
+	}
+}
+
+func TestVCDReadRejectsBadTimestamp(t *testing.T) {
+	src := "$enddefinitions $end\n#abc\n"
+	if _, err := ReadVCD(strings.NewReader(src)); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+}
+
+func TestVCDReadTimescales(t *testing.T) {
+	for unit, want := range map[string]sim.Time{
+		"ps": sim.Ps, "ns": sim.Ns, "us": sim.Us, "ms": sim.Ms, "s": sim.Sec,
+	} {
+		src := "$timescale 1 " + unit + " $end\n$enddefinitions $end\n"
+		f, err := ReadVCD(strings.NewReader(src))
+		if err != nil || f.Timescale != want {
+			t.Errorf("unit %s: %v,%v", unit, f.Timescale, err)
+		}
+	}
+	if _, err := ReadVCD(strings.NewReader("$timescale 1 fortnight $end\n")); err == nil {
+		t.Error("bad unit accepted")
+	}
+}
+
+func TestVCDReadBadVarLine(t *testing.T) {
+	src := "$var wire $end\n"
+	if _, err := ReadVCD(strings.NewReader(src)); err == nil {
+		t.Fatal("bad $var accepted")
+	}
+}
+
+func TestVCDChangesMonotoneAfterRead(t *testing.T) {
+	dump := buildDump(t)
+	f, err := ReadVCD(strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sim.Time(-1)
+	for _, c := range f.Changes {
+		if c.Time < last {
+			t.Fatalf("changes out of order: %v after %v", c.Time, last)
+		}
+		last = c.Time
+	}
+}
