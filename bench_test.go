@@ -15,9 +15,12 @@
 package godpm_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"godpm/internal/battery"
+	"godpm/internal/engine"
 	"godpm/internal/experiments"
 	"godpm/internal/rules"
 	"godpm/internal/sim"
@@ -108,6 +111,62 @@ func BenchmarkSimSpeed(b *testing.B) {
 	}
 	b.Run("A", func(b *testing.B) { bench(b, experiments.A1(benchTuning())) })
 	b.Run("BC", func(b *testing.B) { bench(b, experiments.B(benchTuning())) })
+}
+
+// BenchmarkEngine runs the full six-scenario Table 2 grid (12 simulations:
+// each scenario plus its always-on baseline) through the batch engine.
+//
+//   - workers=N sub-benchmarks run the grid cold (caching disabled) on an
+//     N-wide pool; jobs are independent single-goroutine simulations, so
+//     on a multi-core host wall time shrinks near-linearly with N (up to
+//     the number of physical cores — a 1-CPU host shows parity, not
+//     speedup).
+//   - cached primes an engine once, then re-runs the same grid; every
+//     iteration must be served entirely from the cache (cache_hits == 12,
+//     simulated == 0), demonstrating that repeated experiment invocations
+//     skip already-computed points.
+func BenchmarkEngine(b *testing.B) {
+	t := benchTuning()
+	plan := experiments.Plan(experiments.All(t))
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(engine.Options{Workers: workers, NoCache: true})
+				if _, err := eng.Run(context.Background(), plan); err != nil {
+					b.Fatal(err)
+				}
+				if st := eng.Stats(); st.Runs != int64(plan.Len()) {
+					b.Fatalf("expected %d cold simulations, got %+v", plan.Len(), st)
+				}
+			}
+			b.ReportMetric(float64(plan.Len())/b.Elapsed().Seconds()*float64(b.N), "jobs/s")
+		})
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: 4})
+		if _, err := eng.Run(context.Background(), plan); err != nil {
+			b.Fatal(err) // prime
+		}
+		primed := eng.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(context.Background(), plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := eng.Stats()
+		if st.Runs != primed.Runs {
+			b.Fatalf("cached invocation re-simulated: %d new runs", st.Runs-primed.Runs)
+		}
+		wantHits := primed.Hits + int64(b.N*plan.Len())
+		if st.Hits != wantHits {
+			b.Fatalf("cache hits = %d, want %d", st.Hits, wantHits)
+		}
+		b.ReportMetric(float64(st.Hits-primed.Hits)/float64(b.N), "cache_hits/op")
+		b.ReportMetric(0, "simulated/op")
+	})
 }
 
 // ---- Ablations (design choices called out in DESIGN.md) ----

@@ -1,0 +1,288 @@
+// Command dpmbatch runs a grid of simulations — Table 2 scenarios,
+// extension scenarios, seed replicates and the built-in parameter studies —
+// through the concurrent batch engine (internal/engine) and writes one
+// record per job as CSV or JSON.
+//
+// Every job is content-addressed: with -cache DIR, results persist across
+// invocations and a re-run of the same grid is served from the cache
+// without simulating (the summary on stderr reports hits/misses/runs).
+//
+// Usage:
+//
+//	dpmbatch [-scenarios all|ext|A1,B,...] [-study timeout|activity|alpha]
+//	         [-replicates N] [-tasks N] [-seed N]
+//	         [-workers N] [-cache DIR] [-format csv|json] [-v]
+//
+// Examples:
+//
+//	dpmbatch -scenarios all -workers 8
+//	dpmbatch -scenarios B,C -replicates 5 -format json
+//	dpmbatch -study timeout -cache /tmp/dpmcache
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+
+	"godpm/internal/engine"
+	"godpm/internal/experiments"
+	"godpm/internal/sweep"
+)
+
+func main() {
+	var (
+		scenarios  = flag.String("scenarios", "", "comma list of scenario IDs; 'all' = A1..C, 'ext' = extensions")
+		study      = flag.String("study", "", "parameter study to add: timeout, activity, alpha")
+		replicates = flag.Int("replicates", 1, "seed replicates per scenario (seeds seed..seed+N-1)")
+		tasks      = flag.Int("tasks", 0, "tasks per IP (0 = default tuning)")
+		seed       = flag.Int64("seed", 0, "base workload seed (0 = default tuning)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		cacheDir   = flag.String("cache", "", "result cache directory ('' = in-memory only)")
+		format     = flag.String("format", "csv", "output format: csv or json")
+		verbose    = flag.Bool("v", false, "log every job completion to stderr")
+	)
+	flag.Parse()
+
+	if *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want csv or json)\n", *format)
+		os.Exit(2)
+	}
+
+	tuning := experiments.DefaultTuning()
+	if *tasks > 0 {
+		tuning.NumTasks = *tasks
+	}
+	if *seed != 0 {
+		tuning.Seed = *seed
+	}
+
+	plan, err := buildPlan(*scenarios, *study, *replicates, tuning)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if plan.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "empty grid: pass -scenarios and/or -study (see -h)")
+		os.Exit(2)
+	}
+
+	var cache engine.Cache
+	if *cacheDir != "" {
+		if cache, err = engine.NewDisk(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	opts := engine.Options{Workers: *workers, Cache: cache}
+	if *verbose {
+		done := 0 // OnResult calls are serialised, so a plain counter is safe
+		opts.OnResult = func(i int, jr engine.JobResult) {
+			status := "ran"
+			if jr.CacheHit {
+				status = "cached"
+			}
+			if jr.Err != nil {
+				status = "error: " + jr.Err.Error()
+			}
+			done++
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-24s %s\n", done, plan.Len(), jr.Job.ID, status)
+		}
+	}
+	eng := engine.New(opts)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	results, runErr := eng.Run(ctx, plan)
+	if err := writeResults(os.Stdout, *format, results, eng.Stats()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "%d jobs on %d workers: %d simulated, %d cache hits, %d errors\n",
+		plan.Len(), eng.Workers(), st.Runs, st.Hits, st.Errors)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(1)
+	}
+}
+
+// buildPlan assembles the grid: scenarios × seed replicates, plus an
+// optional parameter study.
+func buildPlan(scenarioSpec, studyName string, replicates int, tuning experiments.Tuning) (engine.Plan, error) {
+	var plan engine.Plan
+	if replicates < 1 {
+		replicates = 1
+	}
+
+	if scenarioSpec != "" {
+		ids, err := expandScenarioIDs(scenarioSpec, tuning)
+		if err != nil {
+			return plan, err
+		}
+		scenarios := make([]experiments.Scenario, len(ids))
+		for i, id := range ids {
+			if scenarios[i], err = scenarioByAnyID(id, tuning); err != nil {
+				return plan, err
+			}
+		}
+		seeds := make([]int64, replicates)
+		for r := range seeds {
+			seeds[r] = tuning.Seed + int64(r)
+		}
+		plan = experiments.ReplicatedPlan(scenarios, seeds, func(s experiments.Scenario, seed int64) experiments.Scenario {
+			t := tuning
+			t.Seed = seed
+			r, err := scenarioByAnyID(s.ID, t)
+			if err != nil {
+				// Unreachable: the ID resolved above with the same resolver.
+				return s
+			}
+			return r
+		})
+	}
+
+	if studyName != "" {
+		studies := sweep.Studies(tuning.Seed, tuning.NumTasks)
+		st, ok := studies[studyName]
+		if !ok {
+			names := make([]string, 0, len(studies))
+			for n := range studies {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return plan, fmt.Errorf("unknown study %q; available: %v", studyName, names)
+		}
+		plan.Jobs = append(plan.Jobs, st.Plan().Jobs...)
+	}
+	return plan, nil
+}
+
+// expandScenarioIDs resolves the -scenarios spec to concrete IDs.
+func expandScenarioIDs(spec string, t experiments.Tuning) ([]string, error) {
+	var ids []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "":
+		case strings.EqualFold(part, "all"):
+			for _, s := range experiments.All(t) {
+				ids = append(ids, s.ID)
+			}
+		case strings.EqualFold(part, "ext"):
+			for _, s := range experiments.Extensions(t) {
+				ids = append(ids, s.ID)
+			}
+		default:
+			if _, err := scenarioByAnyID(part, t); err != nil {
+				return nil, err
+			}
+			ids = append(ids, part)
+		}
+	}
+	return ids, nil
+}
+
+// scenarioByAnyID resolves paper scenarios and extensions alike.
+func scenarioByAnyID(id string, t experiments.Tuning) (experiments.Scenario, error) {
+	if s, err := experiments.ByID(strings.ToUpper(id), t); err == nil {
+		return s, nil
+	}
+	if s, err := experiments.ExtensionByID(id, t); err == nil {
+		return s, nil
+	}
+	known := make([]string, 0, 9)
+	for _, s := range experiments.All(t) {
+		known = append(known, s.ID)
+	}
+	for _, s := range experiments.Extensions(t) {
+		known = append(known, s.ID)
+	}
+	return experiments.Scenario{}, fmt.Errorf("unknown scenario %q; available: %v", id, known)
+}
+
+// record is the flat per-job output row.
+type record struct {
+	ID          string  `json:"id"`
+	Key         string  `json:"key"`
+	CacheHit    bool    `json:"cache_hit"`
+	Error       string  `json:"error,omitempty"`
+	EnergyJ     float64 `json:"energy_j"`
+	DurationS   float64 `json:"duration_s"`
+	AvgTempC    float64 `json:"avg_temp_c"`
+	PeakTempC   float64 `json:"peak_temp_c"`
+	TasksDone   int     `json:"tasks_done"`
+	Completed   bool    `json:"completed"`
+	FinalSoC    float64 `json:"final_soc"`
+	KCyclesPerS float64 `json:"kcycles_per_s"`
+}
+
+func toRecord(jr engine.JobResult) record {
+	rec := record{ID: jr.Job.ID, Key: jr.Key, CacheHit: jr.CacheHit}
+	if jr.Err != nil {
+		rec.Error = jr.Err.Error()
+		return rec
+	}
+	r := jr.Result
+	rec.EnergyJ = r.EnergyJ
+	rec.DurationS = r.Duration.Seconds()
+	rec.AvgTempC = r.AvgTempC
+	rec.PeakTempC = r.PeakTempC
+	rec.TasksDone = r.TasksDone
+	rec.Completed = r.Completed
+	rec.FinalSoC = r.FinalSoC
+	rec.KCyclesPerS = r.KCyclesPerSec()
+	return rec
+}
+
+func writeResults(w *os.File, format string, results []engine.JobResult, st engine.Stats) error {
+	switch format {
+	case "json":
+		recs := make([]record, len(results))
+		for i, jr := range results {
+			recs[i] = toRecord(jr)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Jobs  []record     `json:"jobs"`
+			Stats engine.Stats `json:"stats"`
+		}{recs, st})
+	case "csv":
+		if _, err := fmt.Fprintln(w, "id,key,cache_hit,error,energy_j,duration_s,avg_temp_c,peak_temp_c,tasks_done,completed,final_soc,kcycles_per_s"); err != nil {
+			return err
+		}
+		for _, jr := range results {
+			rec := toRecord(jr)
+			if _, err := fmt.Fprintf(w, "%s,%s,%v,%s,%.6g,%.6g,%.4g,%.4g,%d,%v,%.4g,%.4g\n",
+				rec.ID, shortKey(rec.Key), rec.CacheHit, csvQuote(rec.Error),
+				rec.EnergyJ, rec.DurationS, rec.AvgTempC, rec.PeakTempC,
+				rec.TasksDone, rec.Completed, rec.FinalSoC, rec.KCyclesPerS); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", format)
+	}
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+func csvQuote(s string) string {
+	if s == "" {
+		return ""
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,3 @@
+module godpm
+
+go 1.24

@@ -18,6 +18,9 @@
 package core
 
 import (
+	"context"
+
+	"godpm/internal/engine"
 	"godpm/internal/experiments"
 	"godpm/internal/rules"
 	"godpm/internal/soc"
@@ -87,6 +90,38 @@ func FormatTable2(rows []Row) string { return experiments.FormatTable2(rows) }
 
 // Topology renders a scenario's Fig. 1 component graph.
 func Topology(s Scenario) string { return experiments.Topology(s) }
+
+// Batch-engine re-exports: the concurrent, cached execution layer
+// (internal/engine) for scenario grids, sweeps and replicated runs.
+type (
+	// Engine shards simulation jobs across a worker pool with result
+	// caching.
+	Engine = engine.Engine
+	// EngineOptions configures workers, cache and progress callbacks.
+	EngineOptions = engine.Options
+	// Plan is an ordered list of simulation jobs.
+	Plan = engine.Plan
+	// JobResult is one job's outcome (result, cache hit, error).
+	JobResult = engine.JobResult
+)
+
+// NewEngine builds a batch engine (Workers == 0 means NumCPU).
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// NewDiskCache opens a directory-backed result cache for EngineOptions.
+func NewDiskCache(dir string) (engine.Cache, error) { return engine.NewDisk(dir) }
+
+// ScenarioPlan lays scenarios out as dpm/baseline job pairs.
+func ScenarioPlan(scenarios []Scenario) Plan { return experiments.Plan(scenarios) }
+
+// RunScenarios executes scenarios on the engine and returns Table 2 rows.
+func RunScenarios(ctx context.Context, eng *Engine, scenarios []Scenario) ([]Row, error) {
+	return experiments.RunScenarios(ctx, eng, scenarios)
+}
+
+// Fingerprint returns the canonical content hash of a configuration (the
+// engine's cache key).
+func Fingerprint(cfg Config) (string, error) { return engine.Fingerprint(cfg) }
 
 // Table1 returns the paper's power-state selection policy (completed with
 // the documented default; see DESIGN.md).

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"godpm/internal/soc"
+)
+
+// Cache stores simulation results by configuration fingerprint. Results
+// handed out by Get are shared — callers must treat them as immutable.
+// Implementations must be safe for concurrent use.
+type Cache interface {
+	Get(key string) (*soc.Result, bool)
+	Put(key string, r *soc.Result) error
+}
+
+// Memory is an in-process result cache.
+type Memory struct {
+	mu sync.RWMutex
+	m  map[string]*soc.Result
+}
+
+// NewMemory returns an empty in-memory cache.
+func NewMemory() *Memory {
+	return &Memory{m: make(map[string]*soc.Result)}
+}
+
+// Get returns the cached result for key, if any.
+func (c *Memory) Get(key string) (*soc.Result, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+// Put stores a result.
+func (c *Memory) Put(key string, r *soc.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (c *Memory) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Disk is a directory-backed result cache: one JSON file per fingerprint.
+// It layers an in-memory cache in front of the files, so within one
+// process each entry is deserialised at most once. Safe for concurrent
+// use within a process; concurrent writers in separate processes are
+// harmless because writes are atomic (write-to-temp + rename) and entries
+// are content-addressed.
+type Disk struct {
+	dir string
+	mem *Memory
+}
+
+// NewDisk opens (creating if needed) a disk cache rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: cache dir: %w", err)
+	}
+	return &Disk{dir: dir, mem: NewMemory()}, nil
+}
+
+func (c *Disk) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached result for key from memory or disk.
+func (c *Disk) Get(key string) (*soc.Result, bool) {
+	if r, ok := c.mem.Get(key); ok {
+		return r, true
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var r soc.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		// A corrupt or stale-format entry is a miss, not an error; the
+		// fresh run will overwrite it.
+		return nil, false
+	}
+	c.mem.Put(key, &r)
+	return &r, true
+}
+
+// Put stores a result in memory and on disk.
+func (c *Disk) Put(key string, r *soc.Result) error {
+	c.mem.Put(key, r)
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("engine: encode result: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package engine executes batches of SoC simulations concurrently: it
+// shards a Plan of soc.Config jobs across a bounded worker pool, runs each
+// job on its own discrete-event kernel (soc.Run is single-goroutine and
+// deterministic, so parallelism across jobs is free), and aggregates the
+// results order-stably — the result slice is index-aligned with the plan
+// no matter which worker finished first.
+//
+// Every job is content-addressed: Fingerprint hashes the normalized
+// soc.Config, and a Cache (in-memory, or layered over a directory of JSON
+// files) short-circuits jobs whose fingerprint has already been computed.
+// Repeated invocations of the same experiment grid — the paper's Table 2
+// scenarios, ablation sweeps, seed-replication fan-outs — therefore cost
+// one simulation per distinct configuration, ever, when a disk cache is
+// shared between runs.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"godpm/internal/soc"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the worker pool; 0 means runtime.NumCPU().
+	Workers int
+	// Cache stores results by fingerprint; nil means a fresh in-memory
+	// cache (use NewDisk to persist across processes).
+	Cache Cache
+	// NoCache disables caching entirely (every job simulates), used by
+	// benchmarks that need cold runs. It takes precedence over Cache.
+	NoCache bool
+	// OnResult, when non-nil, observes every finished job in completion
+	// order. Calls are serialised; the index is the job's plan position.
+	OnResult func(i int, jr JobResult)
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	Job Job
+	// Key is the config fingerprint ("" when fingerprinting failed).
+	Key string
+	// Result is nil iff Err is non-nil. Cached results are shared across
+	// jobs and invocations — treat them as immutable.
+	Result *soc.Result
+	Err    error
+	// CacheHit reports that Result came from the cache.
+	CacheHit bool
+}
+
+// Stats are the engine's cumulative counters.
+type Stats struct {
+	// Hits and Misses count cache lookups; Runs counts simulations
+	// actually executed (== Misses unless caching is disabled); Errors
+	// counts failed jobs.
+	Hits   int64
+	Misses int64
+	Runs   int64
+	Errors int64
+}
+
+// Engine runs plans. It is safe for concurrent use; counters and cache
+// accumulate across Run calls, which is what makes a second invocation of
+// the same plan observably cache-served.
+type Engine struct {
+	workers  int
+	cache    Cache
+	onResult func(i int, jr JobResult)
+	cbMu     sync.Mutex
+
+	hits, misses, runs, errs atomic.Int64
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	c := opts.Cache
+	if opts.NoCache {
+		c = nil
+	} else if c == nil {
+		c = NewMemory()
+	}
+	return &Engine{workers: w, cache: c, onResult: opts.OnResult}
+}
+
+// Workers returns the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:   e.hits.Load(),
+		Misses: e.misses.Load(),
+		Runs:   e.runs.Load(),
+		Errors: e.errs.Load(),
+	}
+}
+
+// Run executes every job of the plan and returns the results index-aligned
+// with plan.Jobs. It always returns a full-length slice; jobs that failed
+// (or were abandoned on cancellation) carry their error in their slot, and
+// the joined error of all failed jobs — including ctx.Err() if the context
+// ended the run early — is returned alongside.
+//
+// Cancellation is job-granular: in-flight simulations complete (the
+// discrete-event kernel is not interruptible mid-run), queued jobs are
+// abandoned with ctx.Err().
+func (e *Engine) Run(ctx context.Context, plan Plan) ([]JobResult, error) {
+	n := len(plan.Jobs)
+	results := make([]JobResult, n)
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				jr := e.runJob(ctx, plan.Jobs[i])
+				results[i] = jr
+				if e.onResult != nil {
+					e.cbMu.Lock()
+					e.onResult(i, jr)
+					e.cbMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark everything not yet handed to a worker as abandoned.
+			for j := i; j < n; j++ {
+				results[j] = JobResult{Job: plan.Jobs[j], Err: ctx.Err()}
+				e.errs.Add(1)
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("engine: job %s: %w", results[i].Job.ID, results[i].Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runJob executes one job: fingerprint, cache probe, simulate, store.
+func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
+	if err := ctx.Err(); err != nil {
+		e.errs.Add(1)
+		return JobResult{Job: job, Err: err}
+	}
+	jr := JobResult{Job: job}
+	var err error
+	jr.Key, err = Fingerprint(job.Config)
+	if err != nil {
+		e.errs.Add(1)
+		jr.Err = err
+		return jr
+	}
+	// Trace writers are excluded from the fingerprint (they don't affect
+	// the Result), so a cache hit would silently skip the requested VCD/CSV
+	// output. Jobs with writers always simulate.
+	cacheable := e.cache != nil && job.Config.TraceVCD == nil && job.Config.TraceCSV == nil
+	if cacheable {
+		if r, ok := e.cache.Get(jr.Key); ok {
+			e.hits.Add(1)
+			jr.Result, jr.CacheHit = r, true
+			return jr
+		}
+		e.misses.Add(1)
+	}
+	e.runs.Add(1)
+	jr.Result, jr.Err = soc.Run(job.Config)
+	if jr.Err != nil {
+		e.errs.Add(1)
+		return jr
+	}
+	if cacheable {
+		// A cache-write failure degrades caching, not correctness.
+		_ = e.cache.Put(jr.Key, jr.Result)
+	}
+	return jr
+}

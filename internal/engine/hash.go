@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"godpm/internal/soc"
+)
+
+// fingerprintVersion is folded into every key so a change to the encoding
+// (or to the meaning of a config field) invalidates old cache entries.
+// Bump it whenever soc.Config grows a result-affecting field.
+const fingerprintVersion = "godpm-config-v1"
+
+// Fingerprint returns the canonical content hash of a simulation
+// configuration, usable as a cache key: two configs hash equally iff they
+// describe the same simulation. The config is normalized first, so a field
+// left zero and the same field set to its documented default are the same
+// key. Output-only fields (TraceVCD, TraceCSV) are excluded — they do not
+// affect the Result.
+func Fingerprint(cfg soc.Config) (string, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	io.WriteString(h, fingerprintVersion)
+	writeConfig(h, &norm)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// writeConfig streams a deterministic encoding of every result-affecting
+// field. All leaf types reached here are value types (scalars, arrays,
+// structs of scalars), so fmt's rendering is stable across runs and
+// worker counts.
+func writeConfig(w io.Writer, c *soc.Config) {
+	field(w, "policy", c.Policy)
+	field(w, "usegem", c.UseGEM)
+	field(w, "gem", c.GEM)
+	field(w, "battery", c.Battery)
+	field(w, "thermal", c.Thermal)
+	field(w, "initialtempc", c.InitialTempC)
+	field(w, "periptherm", c.PerIPThermal)
+	field(w, "thermalnet", c.ThermalNetwork)
+	field(w, "bus", c.Bus)
+	field(w, "buswords", c.BusWords)
+	field(w, "timeout", c.Timeout)
+	field(w, "timeoutsleep", int(c.TimeoutSleepState))
+	field(w, "greedysleep", int(c.GreedySleepState))
+	field(w, "sample", c.SampleInterval)
+	field(w, "horizon", c.Horizon)
+	field(w, "baseclock", c.BaseClockHz)
+	if c.Regulator != nil {
+		field(w, "regulator", *c.Regulator)
+	}
+
+	field(w, "lem.predictor", c.LEM.Predictor)
+	field(w, "lem.alpha", c.LEM.Alpha)
+	field(w, "lem.nobreakeven", c.LEM.DisableBreakEven)
+	field(w, "lem.softoff", c.LEM.AllowSoftOff)
+	if c.LEM.Table != nil {
+		// Format renders every rule row plus the default state; the table
+		// has no other behaviour-bearing state.
+		field(w, "lem.table", c.LEM.Table.Format())
+	}
+
+	field(w, "nips", len(c.IPs))
+	for i := range c.IPs {
+		spec := &c.IPs[i]
+		field(w, "ip.name", spec.Name)
+		field(w, "ip.prio", spec.StaticPriority)
+		field(w, "ip.init", int(spec.InitialState))
+		field(w, "ip.profile", *spec.Profile)
+		field(w, "ip.nseq", len(spec.Sequence))
+		for _, it := range spec.Sequence {
+			field(w, "s", it)
+		}
+		field(w, "ip.narr", len(spec.Arrivals))
+		for _, a := range spec.Arrivals {
+			field(w, "a", a)
+		}
+	}
+}
+
+// field writes one labelled value. The label prevents adjacent fields from
+// aliasing ("ab"+"c" vs "a"+"bc").
+func field(w io.Writer, name string, v any) {
+	fmt.Fprintf(w, "|%s=%+v", name, v)
+}
+
+// ResultDigest hashes the deterministic content of a Result: everything
+// the simulation computed, excluding host-timing fields (WallSeconds).
+// Two runs of configs with equal Fingerprints must produce equal digests
+// regardless of worker count, host load or cache state — the engine's
+// determinism tests are phrased in terms of this digest.
+func ResultDigest(r *soc.Result) string {
+	h := sha256.New()
+	io.WriteString(h, "godpm-result-v1")
+	field(h, "energy", r.EnergyJ)
+	writeFloatMap(h, "energyby", r.EnergyByIP)
+	field(h, "busenergy", r.BusEnergyJ)
+	field(h, "avgtemp", r.AvgTempC)
+	field(h, "peaktemp", r.PeakTempC)
+	field(h, "ambient", r.AmbientC)
+	field(h, "duration", r.Duration)
+	field(h, "completed", r.Completed)
+	field(h, "tasks", r.TasksDone)
+	field(h, "cycles", r.Cycles)
+	field(h, "soc", r.FinalSoC)
+	field(h, "batt", int(r.FinalBatteryStatus))
+	field(h, "gemev", r.GEMEvaluations)
+	field(h, "fan", r.FanSwitches)
+	field(h, "busocc", r.BusOccupancy)
+	if r.Ledger != nil {
+		field(h, "nledger", r.Ledger.Len())
+		for _, rec := range r.Ledger.Records() {
+			field(h, "l", rec)
+		}
+	}
+	names := make([]string, 0, len(r.LEMStats))
+	for name := range r.LEMStats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.LEMStats[name]
+		writeIntMap(h, name+".on", s.OnDecisions)
+		writeIntMap(h, name+".sleep", s.SleepEntries)
+		field(h, name+".park", s.ParkEvents)
+		field(h, name+".parked", s.ParkedTime)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeFloatMap(w io.Writer, name string, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		field(w, name+"."+k, m[k])
+	}
+}
+
+func writeIntMap(w io.Writer, name string, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		field(w, name+"."+k, m[k])
+	}
+}

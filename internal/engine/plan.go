@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"fmt"
+
+	"godpm/internal/soc"
+)
+
+// Job is one unit of work: a complete simulation configuration plus a
+// human-readable identifier (unique within a plan by convention; the
+// cache key is the config fingerprint, not the ID).
+type Job struct {
+	ID     string
+	Config soc.Config
+}
+
+// Plan is an ordered list of jobs. Order is significant: the engine's
+// results come back index-aligned with the plan regardless of execution
+// order, so builders can lay out grids however downstream aggregation
+// wants to read them.
+type Plan struct {
+	Jobs []Job
+}
+
+// Add appends one job and returns the plan for chaining.
+func (p *Plan) Add(id string, cfg soc.Config) *Plan {
+	p.Jobs = append(p.Jobs, Job{ID: id, Config: cfg})
+	return p
+}
+
+// AddPair appends a run and its reference configuration as two adjacent
+// jobs (`id/dpm`, `id/base`) — the layout the Table 2 harness consumes.
+func (p *Plan) AddPair(id string, cfg, baseline soc.Config) *Plan {
+	p.Add(id+"/dpm", cfg)
+	p.Add(id+"/base", baseline)
+	return p
+}
+
+// AddFan appends one job per seed (`id@seed`), for seed-replication
+// fan-outs: build regenerates the workload for each seed.
+func (p *Plan) AddFan(id string, seeds []int64, build func(seed int64) soc.Config) *Plan {
+	for _, s := range seeds {
+		p.Add(fmt.Sprintf("%s@%d", id, s), build(s))
+	}
+	return p
+}
+
+// Len returns the number of jobs.
+func (p *Plan) Len() int { return len(p.Jobs) }

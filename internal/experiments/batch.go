@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"godpm/internal/engine"
+)
+
+// Plan lays the scenarios out as an engine plan: each scenario contributes
+// its DPM configuration and its always-on baseline as an adjacent job pair
+// ("<ID>/dpm", "<ID>/base"). Feeding the plan to an engine.Engine runs the
+// whole grid concurrently and content-addressed — a cached Table 2
+// regeneration costs zero simulations.
+func Plan(scenarios []Scenario) engine.Plan {
+	var p engine.Plan
+	for _, s := range scenarios {
+		p.AddPair(s.ID, s.Config, Baseline(s))
+	}
+	return p
+}
+
+// ReplicatedPlan fans each scenario out over seed replicates: rebuild
+// regenerates the scenario for a seed (typically by setting Tuning.Seed),
+// and every replicate contributes its dpm/base pair. With a single seed
+// the job IDs stay plain ("<ID>/dpm"); with several they carry the seed
+// ("<ID>@<seed>/dpm").
+func ReplicatedPlan(scenarios []Scenario, seeds []int64, rebuild func(s Scenario, seed int64) Scenario) engine.Plan {
+	var p engine.Plan
+	for _, s := range scenarios {
+		for _, seed := range seeds {
+			r := rebuild(s, seed)
+			id := s.ID
+			if len(seeds) > 1 {
+				id = fmt.Sprintf("%s@%d", s.ID, seed)
+			}
+			p.AddPair(id, r.Config, Baseline(r))
+		}
+	}
+	return p
+}
+
+// RowsFromResults pairs a Plan's results back into Table 2 rows. The
+// results must be index-aligned with Plan(scenarios) — which engine.Run
+// guarantees regardless of worker count.
+func RowsFromResults(scenarios []Scenario, results []engine.JobResult) ([]Row, error) {
+	if len(results) != 2*len(scenarios) {
+		return nil, fmt.Errorf("experiments: %d results for %d scenarios", len(results), len(scenarios))
+	}
+	rows := make([]Row, 0, len(scenarios))
+	for i, s := range scenarios {
+		dpm, base := results[2*i], results[2*i+1]
+		if dpm.Err != nil {
+			return nil, fmt.Errorf("experiments: %s dpm: %w", s.ID, dpm.Err)
+		}
+		if base.Err != nil {
+			return nil, fmt.Errorf("experiments: %s baseline: %w", s.ID, base.Err)
+		}
+		row, err := computeRow(s.ID, base.Result, dpm.Result)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunScenarios executes the scenarios (DPM plus baseline each) on the
+// engine and returns their Table 2 rows in scenario order.
+func RunScenarios(ctx context.Context, eng *engine.Engine, scenarios []Scenario) ([]Row, error) {
+	results, err := eng.Run(ctx, Plan(scenarios))
+	if err != nil {
+		return nil, err
+	}
+	return RowsFromResults(scenarios, results)
+}
+
+// runScenariosDefault runs on a throwaway pool sized to the paired-run
+// shape (the historic serial path, now two-wide).
+func runScenariosDefault(scenarios []Scenario) ([]Row, error) {
+	eng := engine.New(engine.Options{Workers: 2, NoCache: true})
+	return RunScenarios(context.Background(), eng, scenarios)
+}

@@ -191,24 +191,28 @@ type Row struct {
 }
 
 // RunScenario executes the baseline and the DPM run and computes the row.
+// It is a convenience over the batch engine (see RunScenarios in batch.go);
+// the two runs share a two-worker pool.
 func RunScenario(s Scenario) (Row, error) {
-	base, err := soc.Run(Baseline(s))
+	rows, err := runScenariosDefault([]Scenario{s})
 	if err != nil {
-		return Row{}, fmt.Errorf("experiments: %s baseline: %w", s.ID, err)
+		return Row{}, err
 	}
-	dpm, err := soc.Run(s.Config)
-	if err != nil {
-		return Row{}, fmt.Errorf("experiments: %s dpm: %w", s.ID, err)
-	}
-	row := Row{ID: s.ID, DPM: dpm, Base: base}
+	return rows[0], nil
+}
+
+// computeRow derives the Table 2 columns from a scenario's paired runs.
+func computeRow(id string, base, dpm *soc.Result) (Row, error) {
+	row := Row{ID: id, DPM: dpm, Base: base}
+	var err error
 	if row.EnergySavingPct, err = stats.EnergySavingPct(base.EnergyJ, dpm.EnergyJ); err != nil {
-		return Row{}, fmt.Errorf("experiments: %s: %w", s.ID, err)
+		return Row{}, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	if row.TempReductionPct, err = stats.TempReductionPct(base.AvgTempC, dpm.AvgTempC, base.AmbientC); err != nil {
-		return Row{}, fmt.Errorf("experiments: %s: %w", s.ID, err)
+		return Row{}, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	if row.DelayOverheadPct, err = stats.DelayOverheadPct(base.Ledger, dpm.Ledger); err != nil {
-		return Row{}, fmt.Errorf("experiments: %s: %w", s.ID, err)
+		return Row{}, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	return row, nil
 }

@@ -258,6 +258,22 @@ func (r *Result) KCyclesPerSec() float64 {
 	return r.Cycles / r.WallSeconds / 1000
 }
 
+// Normalized returns a copy of the configuration with every defaultable
+// field filled in, exactly as Run will interpret it. Two configurations
+// that normalize identically produce identical simulations, which makes
+// the normalized form the right input for content-addressed caching
+// (internal/engine hashes it). The IPs slice and its specs are copied —
+// filling defaults never mutates the receiver — but Profile pointers and
+// Sequence/Arrivals backing arrays stay shared; treat them as immutable
+// (Run only reads them).
+func (c Config) Normalized() (Config, error) {
+	c.IPs = append([]IPSpec(nil), c.IPs...)
+	if err := c.fillDefaults(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 func (c *Config) fillDefaults() error {
 	if len(c.IPs) == 0 {
 		return fmt.Errorf("soc: no IPs configured")
@@ -325,6 +341,43 @@ func (c *Config) fillDefaults() error {
 	if c.UseGEM && c.Policy != PolicyDPM {
 		return fmt.Errorf("soc: GEM requires the DPM policy")
 	}
+	// Normalize the manager options too, so Normalized() upholds the
+	// "field left zero == field set to its documented default" equivalence
+	// that engine.Fingerprint keys on. Options that cannot influence the
+	// run (LEM under a non-DPM policy, GEM when unused) are zeroed.
+	if c.Policy == PolicyDPM {
+		if c.LEM.Table == nil {
+			c.LEM.Table = rules.Table1()
+		}
+		if c.LEM.Predictor == "" {
+			c.LEM.Predictor = PredictorEWMA
+		}
+		switch c.LEM.Predictor {
+		case PredictorLast, PredictorPerfect, PredictorAdaptive, PredictorQuantile:
+			// Alpha is only consumed by the EWMA predictor.
+			c.LEM.Alpha = 0
+		default:
+			if c.LEM.Alpha == 0 {
+				c.LEM.Alpha = 0.5
+			}
+		}
+	} else {
+		c.LEM = LEMOptions{}
+	}
+	if c.UseGEM {
+		if c.GEM.HighPriorityCutoff <= 0 {
+			c.GEM.HighPriorityCutoff = gem.DefaultConfig().HighPriorityCutoff
+		}
+	} else {
+		c.GEM = gem.Config{}
+	}
+	if c.Policy != PolicyTimeout {
+		c.Timeout = 0
+		c.TimeoutSleepState = acpi.State(0)
+	}
+	if c.Policy != PolicyGreedy {
+		c.GreedySleepState = acpi.State(0)
+	}
 	if c.Regulator != nil {
 		if err := c.Regulator.Validate(); err != nil {
 			return err
@@ -335,8 +388,16 @@ func (c *Config) fillDefaults() error {
 
 // Run builds the SoC and simulates it to completion (all sequences done) or
 // to the horizon.
+//
+// Run is safe for concurrent use: every call builds its own kernel and
+// components, the configuration is normalized into a private copy before
+// any mutation, and nothing in this package or the packages it assembles
+// holds package-level mutable state. Sharing one Config value (including
+// its IPs, Sequences and Profile pointers) across simultaneous Runs is
+// fine as long as callers do not mutate it mid-run.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.fillDefaults(); err != nil {
+	cfg, err := cfg.Normalized()
+	if err != nil {
 		return nil, err
 	}
 	k := sim.NewKernel()

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"sync"
 	"testing"
 
 	"godpm/internal/acpi"
@@ -360,5 +361,38 @@ func TestNewPredictorKindsRun(t *testing.T) {
 		if !res.Completed {
 			t.Fatalf("%s: incomplete", kind)
 		}
+	}
+}
+
+// TestRunConcurrentSharedConfig runs the same Config value from several
+// goroutines at once (as internal/engine's worker pool does). Under -race
+// this catches any shared mutable state — in particular, Run must not
+// mutate the caller's IPs backing array while filling defaults.
+func TestRunConcurrentSharedConfig(t *testing.T) {
+	cfg := smallConfig(PolicyDPM, 15)
+	cfg.IPs[0].Name = "" // force fillDefaults to touch the spec
+	const n = 4
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if results[i].EnergyJ != results[0].EnergyJ || results[i].Duration != results[0].Duration {
+			t.Fatalf("run %d diverged: E=%v vs %v, D=%v vs %v",
+				i, results[i].EnergyJ, results[0].EnergyJ, results[i].Duration, results[0].Duration)
+		}
+	}
+	if cfg.IPs[0].Name != "" {
+		t.Fatal("Run mutated the caller's IPs slice")
 	}
 }

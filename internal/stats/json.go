@@ -1,0 +1,19 @@
+package stats
+
+import "encoding/json"
+
+// MarshalJSON serialises the ledger as its record array, so results that
+// embed a Ledger (soc.Result) survive a JSON round trip — the on-disk
+// result cache in internal/engine depends on this.
+func (l Ledger) MarshalJSON() ([]byte, error) {
+	if l.records == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(l.records)
+}
+
+// UnmarshalJSON restores a ledger serialised by MarshalJSON.
+func (l *Ledger) UnmarshalJSON(b []byte) error {
+	l.records = nil
+	return json.Unmarshal(b, &l.records)
+}

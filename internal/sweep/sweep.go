@@ -6,9 +6,11 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"godpm/internal/engine"
 	"godpm/internal/soc"
 	"godpm/internal/stats"
 )
@@ -55,17 +57,43 @@ func (s Sweep) Validate() error {
 	return nil
 }
 
-// Run executes the sweep.
+// Run executes the sweep on a default batch engine (one worker per CPU,
+// fresh in-memory cache). Results are identical to a serial run: points
+// come back in Values order and every simulation is deterministic.
 func (s Sweep) Run() ([]Point, error) {
+	return s.RunWith(context.Background(), engine.New(engine.Options{}))
+}
+
+// Plan lays the sweep out as engine jobs: per value the config under test
+// and, when BuildBaseline is set, its reference config as the adjacent job.
+func (s Sweep) Plan() engine.Plan {
+	var p engine.Plan
+	for _, v := range s.Values {
+		p.Add(fmt.Sprintf("%s[%s=%g]", s.Name, s.Param, v), s.Build(v))
+		if s.BuildBaseline != nil {
+			p.Add(fmt.Sprintf("%s[%s=%g]/base", s.Name, s.Param, v), s.BuildBaseline(v))
+		}
+	}
+	return p
+}
+
+// RunWith executes the sweep's plan on the given engine, sharing its
+// worker pool, cache and counters with other batches.
+func (s Sweep) RunWith(ctx context.Context, eng *engine.Engine) ([]Point, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	results, err := eng.Run(ctx, s.Plan())
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s: %w", s.Name, err)
+	}
+	stride := 1
+	if s.BuildBaseline != nil {
+		stride = 2
+	}
 	pts := make([]Point, 0, len(s.Values))
-	for _, v := range s.Values {
-		res, err := soc.Run(s.Build(v))
-		if err != nil {
-			return nil, fmt.Errorf("sweep %s at %v: %w", s.Name, v, err)
-		}
+	for i, v := range s.Values {
+		res := results[stride*i].Result
 		p := Point{
 			Value:     v,
 			EnergyJ:   res.EnergyJ,
@@ -74,10 +102,7 @@ func (s Sweep) Run() ([]Point, error) {
 			Completed: res.Completed,
 		}
 		if s.BuildBaseline != nil {
-			base, err := soc.Run(s.BuildBaseline(v))
-			if err != nil {
-				return nil, fmt.Errorf("sweep %s baseline at %v: %w", s.Name, v, err)
-			}
+			base := results[stride*i+1].Result
 			if p.EnergySavingPct, err = stats.EnergySavingPct(base.EnergyJ, res.EnergyJ); err != nil {
 				return nil, fmt.Errorf("sweep %s at %v: %w", s.Name, v, err)
 			}
