@@ -277,40 +277,88 @@ func BenchmarkAblationGEM(b *testing.B) {
 }
 
 // ---- Kernel micro-benchmarks ----
+//
+// These three pin the kernel's per-event cost (the paper's simulation
+// speed is dominated by it): timed notification, delta cycles and signal
+// writes. All must report 0 allocs/op — the internal/sim allocation tests
+// enforce the same bound as a hard test. cmd/dpmbench turns their output
+// into BENCH_2.json and gates CI on >10% regressions.
 
-// BenchmarkKernelTimedEvents measures raw timed-event throughput.
-func BenchmarkKernelTimedEvents(b *testing.B) {
+// BenchmarkNotifyTimed measures the timed notify→fire→activate path: one
+// method process re-notifying its own event, one kernel instant per event.
+// The churn variant supersedes a second event's notification every cycle,
+// adding the stale-entry bookkeeping and lazy compaction to the measured
+// path.
+func BenchmarkNotifyTimed(b *testing.B) {
+	run := func(b *testing.B, churn bool) {
+		k := sim.NewKernel()
+		e := k.NewEvent("tick")
+		c := k.NewEvent("churn")
+		n := 0
+		k.Method("m", func() {
+			n++
+			e.Notify(10 * sim.Ns)
+			if churn {
+				c.Notify(30 * sim.Ns)
+				c.Notify(20 * sim.Ns) // earlier wins: strands a stale entry
+			}
+		}).Sensitive(e)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(sim.Time(b.N) * 10 * sim.Ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("pure", func(b *testing.B) { run(b, false) })
+	b.Run("churn", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkDeltaCycle measures pure delta-cycle throughput: one method
+// re-notifying itself with SC_ZERO_TIME semantics, never advancing time.
+func BenchmarkDeltaCycle(b *testing.B) {
 	k := sim.NewKernel()
-	e := k.NewEvent("tick")
+	k.MaxDeltasPerInstant = 1 << 60
+	e := k.NewEvent("d")
 	n := 0
 	k.Method("m", func() {
 		n++
-		e.Notify(10 * sim.Ns)
+		if n < b.N {
+			e.NotifyDelta()
+		}
 	}).Sensitive(e)
 	b.ReportAllocs()
 	b.ResetTimer()
-	if err := k.Run(sim.Time(b.N) * 10 * sim.Ns); err != nil {
+	if err := k.Run(0); err != nil {
 		b.Fatal(err)
+	}
+	if n < b.N {
+		b.Fatalf("ran %d delta cycles, want %d", n, b.N)
 	}
 }
 
-// BenchmarkKernelSignalDelta measures signal write/update/notify cycles.
-func BenchmarkKernelSignalDelta(b *testing.B) {
+// BenchmarkSignalWrite measures the full signal path — write, update
+// phase, change notification, sensitive-process activation — one delta
+// cycle per write.
+func BenchmarkSignalWrite(b *testing.B) {
 	k := sim.NewKernel()
+	k.MaxDeltasPerInstant = 1 << 60
 	s := sim.NewSignal(k, "s", 0)
-	e := k.NewEvent("tick")
 	i := 0
 	k.Method("w", func() {
 		i++
-		s.Write(i)
-		e.Notify(1 * sim.Ns)
-	}).Sensitive(e)
+		if i <= b.N {
+			s.Write(i) // always a change: re-activates via s.Changed()
+		}
+	}).Sensitive(s.Changed())
 	reads := 0
 	k.Method("r", func() { reads++ }).Sensitive(s.Changed()).DontInitialize()
 	b.ReportAllocs()
 	b.ResetTimer()
-	if err := k.Run(sim.Time(b.N) * sim.Ns); err != nil {
+	if err := k.Run(0); err != nil {
 		b.Fatal(err)
+	}
+	if s.Read() < b.N {
+		b.Fatalf("wrote %d values, want %d", s.Read(), b.N)
 	}
 }
 

@@ -1,0 +1,308 @@
+// dpmbench turns `go test -bench` output into a committed JSON baseline and
+// gates changes against it: parse benchmark text from stdin (or -in), emit
+// the parsed numbers as JSON with -emit, and compare them against a
+// baseline file with -baseline, exiting non-zero when a throughput metric
+// regresses by more than -max-regress percent.
+//
+// Typical use (see the README's Performance section and the CI bench job):
+//
+//	go test -run '^$' -bench 'BenchmarkSimSpeed|BenchmarkNotifyTimed|BenchmarkDeltaCycle|BenchmarkSignalWrite' \
+//	    -benchmem -count 3 . | go run ./cmd/dpmbench -emit BENCH_2.json
+//
+//	go test -run '^$' -bench ... -benchmem -count 3 . | \
+//	    go run ./cmd/dpmbench -baseline BENCH_2.json -max-regress 10
+//
+// Comparison rules, per benchmark present in both runs:
+//
+//   - ns/op: higher is worse; fails beyond the threshold.
+//   - Kcycle/s and jobs/s: higher is better; fails when the new value drops
+//     below (100−threshold)% of the baseline.
+//   - allocs/op: a zero baseline is a hard contract — any new allocation
+//     fails regardless of threshold; non-zero baselines use the threshold.
+//   - everything else (energy_mJ, cache_hits/op, …) is informational.
+//
+// Wall-clock metrics are only comparable when baseline and current ran on
+// the same hardware. When they did not — a committed baseline checked on a
+// CI runner — pass -gate allocs: the hardware-independent allocs/op
+// contract still gates hard, while ns/op and rate metrics are reported
+// informationally only.
+//
+// Duplicate lines (from -count N) are aggregated noise-robustly before
+// comparison or emission: best-of-N for time and rate metrics (host noise
+// only ever makes a run slower, never faster), worst-of-N for allocs/op
+// (one allocating run must not hide behind the mean), mean for
+// informational metrics. Run with -count 3 or more so one descheduled run
+// cannot fail the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchFile is the JSON schema committed as BENCH_<n>.json.
+type benchFile struct {
+	Schema     string                `json:"schema"`
+	Go         string                `json:"go"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+const schemaID = "godpm-bench-v1"
+
+// benchLine matches one benchmark result line:
+//
+//	BenchmarkSimSpeed/A-8   20   1578713 ns/op   203249981 Kcycle/s   999608 B/op   417 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// aggregate folds the values one benchmark reported for one unit across
+// -count N runs into the number that gets compared: the best run for time
+// and rate metrics, the worst run for allocs/op, the mean for
+// informational metrics.
+func aggregate(unit string, vals []float64) float64 {
+	agg := vals[0]
+	switch {
+	case unit == "allocs/op":
+		for _, v := range vals[1:] {
+			agg = math.Max(agg, v)
+		}
+	case direction(unit) < 0, unit == "B/op":
+		for _, v := range vals[1:] {
+			agg = math.Min(agg, v)
+		}
+	case direction(unit) > 0:
+		for _, v := range vals[1:] {
+			agg = math.Max(agg, v)
+		}
+	default:
+		for _, v := range vals[1:] {
+			agg += v
+		}
+		agg /= float64(len(vals))
+	}
+	return agg
+}
+
+// parse reads `go test -bench` text and aggregates duplicate benchmark
+// names (see aggregate).
+func parse(r io.Reader) (map[string]benchEntry, error) {
+	raw := map[string]map[string][]float64{}
+	iters := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name, iterStr, rest := m[1], m[2], m[3]
+		it, err := strconv.Atoi(iterStr)
+		if err != nil {
+			return nil, fmt.Errorf("dpmbench: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		fields := strings.Fields(rest)
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("dpmbench: odd value/unit pairing in %q", sc.Text())
+		}
+		if raw[name] == nil {
+			raw[name] = map[string][]float64{}
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dpmbench: bad value %q in %q: %v", fields[i], sc.Text(), err)
+			}
+			raw[name][fields[i+1]] = append(raw[name][fields[i+1]], v)
+		}
+		iters[name] = it
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchEntry, len(raw))
+	for name, units := range raw {
+		e := benchEntry{Iterations: iters[name], Metrics: make(map[string]float64, len(units))}
+		for unit, vals := range units {
+			e.Metrics[unit] = aggregate(unit, vals)
+		}
+		out[name] = e
+	}
+	return out, nil
+}
+
+// direction classifies a metric: +1 higher-is-better, -1 lower-is-better,
+// 0 informational.
+func direction(unit string) int {
+	switch unit {
+	case "ns/op":
+		return -1
+	case "Kcycle/s", "jobs/s":
+		return +1
+	case "allocs/op":
+		return -1
+	default:
+		return 0
+	}
+}
+
+// regression describes one failed comparison.
+type regression struct {
+	bench, unit       string
+	baseline, current float64
+	changePct         float64
+}
+
+// compare evaluates current against baseline under the threshold (percent)
+// and returns the regressions plus a human-readable report of every gated
+// metric. With gateTimes false, only hardware-independent metrics
+// (allocs/op) can fail; ns/op and rate metrics are reported but never
+// gate — the right mode when baseline and current ran on different
+// machines (CI runners vs the machine that committed the baseline).
+func compare(baseline, current map[string]benchEntry, thresholdPct float64, gateTimes bool) (regs []regression, report []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		if _, ok := current[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, cur := baseline[name], current[name]
+		units := make([]string, 0, len(base.Metrics))
+		for unit := range base.Metrics {
+			if _, ok := cur.Metrics[unit]; ok && direction(unit) != 0 {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			b, c := base.Metrics[unit], cur.Metrics[unit]
+			var changePct float64
+			if b != 0 {
+				changePct = (c - b) / b * 100
+			}
+			bad := false
+			switch {
+			case unit == "allocs/op" && b == 0:
+				bad = c > 0 // zero-alloc contract: no threshold grace
+			case unit != "allocs/op" && !gateTimes:
+				bad = false // cross-machine mode: time/rate rows are informational
+			case b == 0:
+				bad = false
+			case direction(unit) < 0:
+				bad = c > b*(1+thresholdPct/100)
+			default:
+				bad = c < b*(1-thresholdPct/100)
+			}
+			mark := "ok  "
+			if bad {
+				mark = "FAIL"
+				regs = append(regs, regression{bench: name, unit: unit, baseline: b, current: c, changePct: changePct})
+			}
+			report = append(report, fmt.Sprintf("%s %-40s %-10s %14.4g -> %-14.4g (%+.1f%%)", mark, name, unit, b, c, changePct))
+		}
+	}
+	return regs, report
+}
+
+func readBaseline(path string) (map[string]benchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("dpmbench: %s: %v", path, err)
+	}
+	if f.Schema != schemaID {
+		return nil, fmt.Errorf("dpmbench: %s: unknown schema %q (want %q)", path, f.Schema, schemaID)
+	}
+	return f.Benchmarks, nil
+}
+
+func writeJSON(path string, benches map[string]benchEntry) error {
+	f := benchFile{Schema: schemaID, Go: runtime.Version(), Benchmarks: benches}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	in := flag.String("in", "", "read benchmark text from this file instead of stdin")
+	emit := flag.String("emit", "", "write the parsed benchmarks to this JSON file")
+	baseline := flag.String("baseline", "", "compare against this committed JSON baseline")
+	maxRegress := flag.Float64("max-regress", 10, "fail when a throughput metric regresses by more than this percent")
+	gate := flag.String("gate", "all", `which metrics can fail the comparison: "all" (same-machine baselines) or "allocs" (hardware-independent only — use when the baseline was measured on different hardware, e.g. CI)`)
+	flag.Parse()
+	if *gate != "all" && *gate != "allocs" {
+		fmt.Fprintf(os.Stderr, "dpmbench: -gate must be \"all\" or \"allocs\", got %q\n", *gate)
+		os.Exit(2)
+	}
+
+	if *emit == "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "dpmbench: nothing to do: pass -emit and/or -baseline")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpmbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpmbench:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "dpmbench: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	if *emit != "" {
+		if err := writeJSON(*emit, benches); err != nil {
+			fmt.Fprintln(os.Stderr, "dpmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dpmbench: wrote %d benchmarks to %s\n", len(benches), *emit)
+	}
+
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpmbench:", err)
+			os.Exit(1)
+		}
+		regs, report := compare(base, benches, *maxRegress, *gate == "all")
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "dpmbench: %d metric(s) regressed beyond %.0f%% of %s\n", len(regs), *maxRegress, *baseline)
+			os.Exit(1)
+		}
+		fmt.Printf("dpmbench: %d benchmarks within %.0f%% of %s\n", len(benches), *maxRegress, *baseline)
+	}
+}

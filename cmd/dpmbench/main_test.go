@@ -1,0 +1,136 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: godpm
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSimSpeed/A-8         	      20	   1578713 ns/op	 203249981 Kcycle/s	  999608 B/op	     417 allocs/op
+BenchmarkSimSpeed/A-8         	      20	   1478713 ns/op	 213249981 Kcycle/s	  999608 B/op	     417 allocs/op
+BenchmarkNotifyTimed/pure-8   	  300000	        33.65 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	godpm	0.046s
+`
+
+func TestParseAggregatesDuplicates(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	a := got["BenchmarkSimSpeed/A"]
+	if a.Metrics["ns/op"] != 1478713 {
+		t.Errorf("ns/op = %v, want best-of-N 1478713", a.Metrics["ns/op"])
+	}
+	if a.Metrics["Kcycle/s"] != 213249981 {
+		t.Errorf("Kcycle/s = %v, want best-of-N 213249981", a.Metrics["Kcycle/s"])
+	}
+	if a.Iterations != 20 {
+		t.Errorf("iterations = %d, want 20", a.Iterations)
+	}
+	nt := got["BenchmarkNotifyTimed/pure"]
+	if nt.Metrics["allocs/op"] != 0 || nt.Metrics["ns/op"] != 33.65 {
+		t.Errorf("NotifyTimed parsed as %+v", nt)
+	}
+}
+
+func TestAggregateWorstCaseAllocs(t *testing.T) {
+	// One allocating run must not hide behind the others.
+	if got := aggregate("allocs/op", []float64{0, 3, 0}); got != 3 {
+		t.Errorf("allocs/op aggregate = %v, want worst-of-N 3", got)
+	}
+	if got := aggregate("energy_mJ", []float64{1, 2, 3}); got != 2 {
+		t.Errorf("informational aggregate = %v, want mean 2", got)
+	}
+}
+
+func entry(metrics map[string]float64) benchEntry {
+	return benchEntry{Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	base := map[string]benchEntry{
+		"B/slow":   entry(map[string]float64{"ns/op": 100, "Kcycle/s": 1000, "allocs/op": 0}),
+		"B/allocs": entry(map[string]float64{"ns/op": 100, "allocs/op": 5}),
+		"B/info":   entry(map[string]float64{"energy_mJ": 42}),
+	}
+
+	t.Run("within threshold passes", func(t *testing.T) {
+		cur := map[string]benchEntry{
+			"B/slow":   entry(map[string]float64{"ns/op": 109, "Kcycle/s": 920, "allocs/op": 0}),
+			"B/allocs": entry(map[string]float64{"ns/op": 95, "allocs/op": 5}),
+			"B/info":   entry(map[string]float64{"energy_mJ": 999}), // informational: never gated
+		}
+		if regs, _ := compare(base, cur, 10, true); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %+v", regs)
+		}
+	})
+
+	t.Run("slower ns/op fails", func(t *testing.T) {
+		cur := map[string]benchEntry{"B/slow": entry(map[string]float64{"ns/op": 115, "Kcycle/s": 1000, "allocs/op": 0})}
+		regs, _ := compare(base, cur, 10, true)
+		if len(regs) != 1 || regs[0].unit != "ns/op" {
+			t.Fatalf("regressions = %+v, want one ns/op failure", regs)
+		}
+	})
+
+	t.Run("lower Kcycle/s fails", func(t *testing.T) {
+		cur := map[string]benchEntry{"B/slow": entry(map[string]float64{"ns/op": 100, "Kcycle/s": 880, "allocs/op": 0})}
+		regs, _ := compare(base, cur, 10, true)
+		if len(regs) != 1 || regs[0].unit != "Kcycle/s" {
+			t.Fatalf("regressions = %+v, want one Kcycle/s failure", regs)
+		}
+	})
+
+	t.Run("zero-alloc contract is strict", func(t *testing.T) {
+		cur := map[string]benchEntry{"B/slow": entry(map[string]float64{"ns/op": 100, "Kcycle/s": 1000, "allocs/op": 1})}
+		regs, _ := compare(base, cur, 10, true)
+		if len(regs) != 1 || regs[0].unit != "allocs/op" {
+			t.Fatalf("regressions = %+v, want one allocs/op failure", regs)
+		}
+	})
+
+	t.Run("nonzero allocs use the threshold", func(t *testing.T) {
+		cur := map[string]benchEntry{"B/allocs": entry(map[string]float64{"ns/op": 100, "allocs/op": 5.4})}
+		if regs, _ := compare(base, cur, 10, true); len(regs) != 0 {
+			t.Fatalf("5 -> 5.4 allocs within 10%% should pass, got %+v", regs)
+		}
+		cur["B/allocs"] = entry(map[string]float64{"ns/op": 100, "allocs/op": 6})
+		regs, _ := compare(base, cur, 10, true)
+		if len(regs) != 1 || regs[0].unit != "allocs/op" {
+			t.Fatalf("5 -> 6 allocs should fail, got %+v", regs)
+		}
+	})
+
+	t.Run("missing benchmarks are ignored", func(t *testing.T) {
+		cur := map[string]benchEntry{"B/new": entry(map[string]float64{"ns/op": 1})}
+		if regs, _ := compare(base, cur, 10, true); len(regs) != 0 {
+			t.Fatalf("disjoint sets must not regress, got %+v", regs)
+		}
+	})
+}
+
+func TestCompareAllocsOnlyGate(t *testing.T) {
+	base := map[string]benchEntry{
+		"B": entry(map[string]float64{"ns/op": 100, "Kcycle/s": 1000, "allocs/op": 0}),
+	}
+	// Three times slower (different hardware) but still zero allocs: passes.
+	cur := map[string]benchEntry{
+		"B": entry(map[string]float64{"ns/op": 300, "Kcycle/s": 330, "allocs/op": 0}),
+	}
+	if regs, _ := compare(base, cur, 10, false); len(regs) != 0 {
+		t.Fatalf("cross-machine mode must not gate wall-clock metrics, got %+v", regs)
+	}
+	// A new allocation fails even in cross-machine mode.
+	cur["B"] = entry(map[string]float64{"ns/op": 100, "Kcycle/s": 1000, "allocs/op": 2})
+	regs, _ := compare(base, cur, 10, false)
+	if len(regs) != 1 || regs[0].unit != "allocs/op" {
+		t.Fatalf("zero-alloc contract must still gate, got %+v", regs)
+	}
+}

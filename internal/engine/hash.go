@@ -12,8 +12,10 @@ import (
 
 // fingerprintVersion is folded into every key so a change to the encoding
 // (or to the meaning of a config field) invalidates old cache entries.
-// Bump it whenever soc.Config grows a result-affecting field.
-const fingerprintVersion = "godpm-config-v1"
+// Bump it whenever soc.Config grows a result-affecting field, or when
+// soc.Result grows a field (stale disk entries would otherwise deserialise
+// with the zero value and masquerade as computed results).
+const fingerprintVersion = "godpm-config-v2"
 
 // Fingerprint returns the canonical content hash of a simulation
 // configuration, usable as a cache key: two configs hash equally iff they
@@ -98,8 +100,9 @@ func field(w io.Writer, name string, v any) {
 // determinism tests are phrased in terms of this digest.
 func ResultDigest(r *soc.Result) string {
 	h := sha256.New()
-	io.WriteString(h, "godpm-result-v1")
+	io.WriteString(h, "godpm-result-v2")
 	field(h, "energy", r.EnergyJ)
+	field(h, "deltas", r.Deltas)
 	writeFloatMap(h, "energyby", r.EnergyByIP)
 	field(h, "busenergy", r.BusEnergyJ)
 	field(h, "avgtemp", r.AvgTempC)

@@ -48,11 +48,17 @@ func (e *Event) Notify(delay Time) {
 		return // delta notification beats any timed one
 	}
 	at := e.k.now + delay
-	if e.pendingAt != pendingNone && e.pendingAt <= at {
+	hadPending := e.pendingAt != pendingNone
+	if hadPending && e.pendingAt <= at {
 		return
 	}
 	e.pendingGen++
 	e.pendingAt = at
+	if hadPending {
+		// The later notification's heap entry just died (gen moved on);
+		// tell the queue so it can compact under churn.
+		e.k.timed.noteStale()
+	}
 	e.k.scheduleTimed(e, at, e.pendingGen)
 }
 
@@ -65,6 +71,7 @@ func (e *Event) NotifyDelta() {
 	if e.pendingAt != pendingNone {
 		e.pendingGen++ // invalidate the timed entry
 		e.pendingAt = pendingNone
+		e.k.timed.noteStale()
 	}
 	e.pendingDelta = true
 	e.k.deltaQueue = append(e.k.deltaQueue, e)
@@ -82,6 +89,7 @@ func (e *Event) Cancel() {
 	if e.pendingAt != pendingNone {
 		e.pendingGen++
 		e.pendingAt = pendingNone
+		e.k.timed.noteStale()
 	}
 	e.pendingDelta = false // delta entry becomes a no-op when drained
 }
@@ -90,8 +98,15 @@ func (e *Event) Cancel() {
 func (e *Event) Pending() bool { return e.pendingDelta || e.pendingAt != pendingNone }
 
 // fire makes every subscribed process runnable and clears dynamic waiters.
+// A pending timed notification still set here means the event fired out of
+// band (NotifyNow) while its heap entry is still queued — count that entry
+// stale. The kernel's timed pop path clears pendingAt before calling fire,
+// so entries that left the heap are never double-counted.
 func (e *Event) fire() {
-	e.pendingAt = pendingNone
+	if e.pendingAt != pendingNone {
+		e.pendingAt = pendingNone
+		e.k.timed.noteStale()
+	}
 	e.pendingDelta = false
 	for _, p := range e.static {
 		e.k.makeRunnable(p)

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -9,13 +8,26 @@ import (
 // Kernel owns simulated time, the event queues and every process, event and
 // signal of one simulation. It is not safe for concurrent use; all model
 // code runs on the kernel's scheduling thread.
+//
+// The scheduling hot path is allocation-free in steady state: the timed
+// queue is a concrete value-slice heap (timedQueue), and the runnable,
+// delta and update queues each ping-pong between two retained buffers
+// instead of re-allocating every cycle, so per-event and per-delta cost is
+// pure pointer work once the buffers have grown to the model's working set.
 type Kernel struct {
 	now Time
 
-	timed      timedHeap // future timed notifications
-	deltaQueue []*Event  // events notified for the next delta cycle
+	timed timedQueue // future timed notifications
+
+	// Phase queues with their retained spares. Each phase swaps the active
+	// queue for the (emptied) spare before draining, so appends made while
+	// draining land in the other buffer and neither is ever re-allocated.
+	deltaQueue []*Event // events notified for the next delta cycle
+	deltaSpare []*Event
 	runnable   []*process
+	runSpare   []*process
 	updates    []updater // signals with a pending update this delta
+	updSpare   []updater
 
 	procs  []*process
 	events []*Event
@@ -36,7 +48,9 @@ type Kernel struct {
 }
 
 // updater is implemented by signals: apply the pending write and notify the
-// changed event if the value actually changed.
+// changed event if the value actually changed. Implementations are pointers
+// (so queueing one is a boxing-free interface conversion) and must not
+// allocate — the hot-path allocation tests pin this.
 type updater interface{ applyUpdate() }
 
 // NewKernel returns a kernel at time zero with empty queues.
@@ -109,7 +123,7 @@ func (k *Kernel) Run(until Time) error {
 		// Evaluation phase.
 		if len(k.runnable) > 0 {
 			run := k.runnable
-			k.runnable = nil
+			k.runnable = k.runSpare[:0]
 			for _, p := range run {
 				p.runnable = false
 				if p.terminated {
@@ -119,21 +133,24 @@ func (k *Kernel) Run(until Time) error {
 				if k.threadPanic != nil {
 					err := k.threadPanic
 					k.threadPanic = nil
+					k.runSpare = run[:0]
 					return err
 				}
 			}
+			k.runSpare = run[:0]
 		}
 
 		// Update phase.
 		if len(k.updates) > 0 {
 			ups := k.updates
-			k.updates = nil
+			k.updates = k.updSpare[:0]
 			for _, u := range ups {
 				u.applyUpdate()
 			}
 			for _, h := range k.onUpdate {
 				h(k.now)
 			}
+			k.updSpare = ups[:0]
 		}
 
 		// Delta-notification phase.
@@ -144,12 +161,13 @@ func (k *Kernel) Run(until Time) error {
 				return fmt.Errorf("%w at t=%s", ErrDeltaLivelock, k.now)
 			}
 			dq := k.deltaQueue
-			k.deltaQueue = nil
+			k.deltaQueue = k.deltaSpare[:0]
 			for _, e := range dq {
 				if e.pendingDelta { // not cancelled meanwhile
 					e.fire()
 				}
 			}
+			k.deltaSpare = dq[:0]
 		}
 
 		if k.stopRequested {
@@ -159,8 +177,11 @@ func (k *Kernel) Run(until Time) error {
 			continue // more work in this instant
 		}
 
-		// Advance time to the next valid timed notification group.
-		nextAt, ok := k.peekValidTimed()
+		// Advance time to the next live timed notification group. nextTime
+		// prunes dead entries and validates the top once; the pop loop then
+		// takes entries straight off the root without re-validating them —
+		// the merged peek/pop path.
+		nextAt, ok := k.timed.nextTime()
 		if !ok {
 			// Queues drained: park time at the requested horizon (unless the
 			// caller asked for "run forever", where the drain time stands).
@@ -179,11 +200,15 @@ func (k *Kernel) Run(until Time) error {
 		k.now = nextAt
 		deltasThisInstant = 0
 		for {
-			ent, ok := k.popValidTimedAt(nextAt)
-			if !ok {
+			ev := k.timed.popTop().ev
+			// Clear the pending notification *before* fire: the entry has
+			// already left the heap, so fire must not count it stale.
+			ev.pendingAt = pendingNone
+			ev.fire()
+			at, ok := k.timed.nextTime()
+			if !ok || at != nextAt {
 				break
 			}
-			ent.fire()
 		}
 	}
 }
@@ -202,6 +227,15 @@ func (k *Kernel) scheduleUpdate(u updater) {
 	k.updates = append(k.updates, u)
 }
 
+// scheduleTimed queues a timed notification for e.
+func (k *Kernel) scheduleTimed(e *Event, at Time, gen uint64) {
+	k.timed.push(at, gen, e)
+}
+
+// timedLen reports the number of entries (live + dead) in the timed queue;
+// the compaction regression tests assert it stays bounded under churn.
+func (k *Kernel) timedLen() int { return k.timed.len() }
+
 // AfterUpdate registers a hook invoked after every update phase. Intended
 // for tracing infrastructure.
 func (k *Kernel) AfterUpdate(h func(Time)) { k.onUpdate = append(k.onUpdate, h) }
@@ -217,70 +251,4 @@ func (k *Kernel) Shutdown() {
 			<-p.yield
 		}
 	}
-}
-
-// ---- timed notification heap ----
-
-type timedEntry struct {
-	at  Time
-	seq uint64 // FIFO tiebreak for equal times
-	gen uint64 // matches Event.pendingGen or the entry is stale
-	ev  *Event
-}
-
-type timedHeap struct {
-	entries []timedEntry
-	seq     uint64
-}
-
-func (h *timedHeap) Len() int { return len(h.entries) }
-func (h *timedHeap) Less(i, j int) bool {
-	if h.entries[i].at != h.entries[j].at {
-		return h.entries[i].at < h.entries[j].at
-	}
-	return h.entries[i].seq < h.entries[j].seq
-}
-func (h *timedHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *timedHeap) Push(x any)    { h.entries = append(h.entries, x.(timedEntry)) }
-func (h *timedHeap) Pop() any {
-	old := h.entries
-	n := len(old)
-	x := old[n-1]
-	h.entries = old[:n-1]
-	return x
-}
-
-func (k *Kernel) scheduleTimed(e *Event, at Time, gen uint64) {
-	k.timed.seq++
-	heap.Push(&k.timed, timedEntry{at: at, seq: k.timed.seq, gen: gen, ev: e})
-}
-
-// peekValidTimed skips stale heap entries and returns the next valid time.
-func (k *Kernel) peekValidTimed() (Time, bool) {
-	for k.timed.Len() > 0 {
-		top := k.timed.entries[0]
-		if top.ev.pendingGen == top.gen && top.ev.pendingAt == top.at {
-			return top.at, true
-		}
-		heap.Pop(&k.timed)
-	}
-	return 0, false
-}
-
-// popValidTimedAt pops the next valid entry if it is scheduled exactly at t.
-func (k *Kernel) popValidTimedAt(t Time) (*Event, bool) {
-	for k.timed.Len() > 0 {
-		top := k.timed.entries[0]
-		valid := top.ev.pendingGen == top.gen && top.ev.pendingAt == top.at
-		if !valid {
-			heap.Pop(&k.timed)
-			continue
-		}
-		if top.at != t {
-			return nil, false
-		}
-		heap.Pop(&k.timed)
-		return top.ev, true
-	}
-	return nil, false
 }

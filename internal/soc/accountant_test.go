@@ -1,0 +1,121 @@
+package soc
+
+import (
+	"testing"
+
+	"godpm/internal/battery"
+	"godpm/internal/sim"
+	"godpm/internal/stats"
+	"godpm/internal/task"
+	"godpm/internal/workload"
+)
+
+// buildAccountant assembles a minimal kernel + accountant: one battery
+// pack, the single-node thermal plant and two idle energy meters, driven
+// only by the accountant's own tick event.
+func buildAccountant(t *testing.T) (*sim.Kernel, *accountant, sim.Time) {
+	t.Helper()
+	cfg := Config{
+		IPs: []IPSpec{
+			{Name: "a", Sequence: workload.Sequence{{Task: task.Task{ID: 1, Instructions: 100}, IdleAfter: sim.Ms}}},
+			{Name: "b", Sequence: workload.Sequence{{Task: task.Task{ID: 1, Instructions: 100}, IdleAfter: sim.Ms}}},
+		},
+	}
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	model, err := cfg.Battery.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack := battery.NewPack(k, "battery", model, battery.DefaultThresholds(), cfg.Battery.Mains)
+	plant := buildThermalPlant(k, &cfg, []string{"a", "b"})
+	meters := []*stats.EnergyMeter{stats.NewEnergyMeter(k, "a"), stats.NewEnergyMeter(k, "b")}
+	busEnergy := 0.0
+	meters[0].SetPower(0.4)
+	meters[1].SetPower(0.2)
+	acct := newAccountant(k, &cfg, pack, plant, meters, &busEnergy, nil)
+	acct.start()
+	return k, acct, cfg.SampleInterval
+}
+
+// TestAccountantTickAllocFree pins one full accountant tick — kernel timed
+// event, method activation, battery step, thermal step, temperature
+// streaming, re-notify — to zero allocations.
+func TestAccountantTickAllocFree(t *testing.T) {
+	k, _, interval := buildAccountant(t)
+	// Warm up: grow kernel buffers and settle battery signal activity.
+	for i := 0; i < 64; i++ {
+		if err := k.Run(k.Now() + interval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := testing.AllocsPerRun(1000, func() {
+		if err := k.Run(k.Now() + interval); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("accountant tick: %v allocs, want 0", got)
+	}
+}
+
+// TestAccountantStreamsStatistics checks the streaming accumulator against
+// the retained Series over the same tick sequence: identical mean and peak,
+// bit for bit.
+func TestAccountantStreamsStatistics(t *testing.T) {
+	k, acct, interval := buildAccountant(t)
+	var ref stats.Series
+	ref.Add(0, acct.temp.Last()) // the seeded initial temperature
+	refPeak := acct.temp.Last()
+	const ticks = 500
+	for i := 0; i < ticks; i++ {
+		if err := k.Run(k.Now() + interval); err != nil {
+			t.Fatal(err)
+		}
+		tc := acct.plant.tempC()
+		ref.Add(k.Now(), tc)
+		if tc > refPeak {
+			refPeak = tc
+		}
+	}
+	if got, want := acct.temp.MeanUntil(k.Now()), ref.MeanUntil(k.Now()); got != want {
+		t.Errorf("streaming mean = %v, Series mean = %v", got, want)
+	}
+	if got := acct.temp.Max(); got != refPeak {
+		t.Errorf("streaming peak = %v, reference peak = %v", got, refPeak)
+	}
+	if acct.temp.Len() != ref.Len() {
+		t.Errorf("streaming saw %d samples, Series %d", acct.temp.Len(), ref.Len())
+	}
+	// Temperature must actually have moved (0.6 W into the default node),
+	// or the comparison above is vacuous.
+	if acct.temp.Max() <= acct.temp.Min() {
+		t.Errorf("temperature never rose: max %v, min %v", acct.temp.Max(), acct.temp.Min())
+	}
+}
+
+// TestEnergyMeterAllocFree pins the meter's settle/set/add hot path.
+func TestEnergyMeterAllocFree(t *testing.T) {
+	k := sim.NewKernel()
+	m := stats.NewEnergyMeter(k, "m")
+	e := k.NewEvent("t")
+	k.Method("advance", func() {}).Sensitive(e).DontInitialize()
+	got := testing.AllocsPerRun(1000, func() {
+		e.Notify(sim.Us)
+		if err := k.Run(k.Now() + sim.Us); err != nil {
+			t.Fatal(err)
+		}
+		m.SetPower(0.5)
+		m.AddPower(0.1)
+		m.AddEnergy(1e-6)
+		if m.EnergyJ() <= 0 {
+			t.Fatal("no energy accumulated")
+		}
+	})
+	if got != 0 {
+		t.Errorf("EnergyMeter hot path: %v allocs, want 0", got)
+	}
+}

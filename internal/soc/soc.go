@@ -236,6 +236,12 @@ type Result struct {
 	Completed bool
 	TasksDone int
 
+	// Deltas is the kernel's delta-cycle count — a scheduling checksum:
+	// two runs of the same configuration must agree on it exactly, which
+	// the determinism tests use to pin kernel rewrites to the old
+	// scheduler's behaviour.
+	Deltas uint64
+
 	// Cycles is Duration × BaseClockHz; WallSeconds the host time spent —
 	// together they give the paper's Kcycle/s simulation speed.
 	Cycles      float64
@@ -424,7 +430,7 @@ func Run(cfg Config) (*Result, error) {
 	ledger := &stats.Ledger{}
 	meters := make([]*stats.EnergyMeter, len(cfg.IPs))
 	psms := make([]*acpi.PSM, len(cfg.IPs))
-	lems := make(map[string]*lem.LEM)
+	lems := make(map[string]*lem.LEM, len(cfg.IPs))
 	ips := make([]*ip.IP, len(cfg.IPs))
 
 	var g *gem.GEM
@@ -517,64 +523,14 @@ func Run(cfg Config) (*Result, error) {
 	}).Sensitive(doneEvents...).DontInitialize()
 
 	// Power accountant: every SampleInterval, feed the battery and the
-	// thermal node with the average power since the last sample and record
-	// the temperature.
-	var tempSeries stats.Series
-	tempSeries.Add(0, cfg.InitialTempC)
-	peak := cfg.InitialTempC
-	lastE := 0.0
-	lastEs := make([]float64, len(meters))
-	perIPPower := make([]float64, len(meters))
-	lastSample := sim.Time(0)
-	totalEnergy := func() float64 {
-		e := busEnergyMeter
-		for _, m := range meters {
-			e += m.EnergyJ()
-		}
-		return e
-	}
-	railV := cfg.IPs[0].Profile.On[0].Vdd
-	batteryDraw := func(pLoad float64) float64 {
-		if cfg.Regulator == nil {
-			return pLoad
-		}
-		return cfg.Regulator.InputPower(pLoad, railV)
-	}
+	// thermal node with the average power since the last sample and stream
+	// the temperature statistics (see accountant.go — O(1) memory, zero
+	// allocations per tick).
 	if g != nil && cfg.GEM.BusOccupancyLimit > 0 && theBus != nil {
 		g.SetBusProbe(theBus.Occupancy)
 	}
-	sample := func() {
-		now := k.Now()
-		dt := now - lastSample
-		if dt <= 0 {
-			return
-		}
-		e := totalEnergy()
-		pAvg := (e - lastE) / dt.Seconds()
-		for i, m := range meters {
-			me := m.EnergyJ()
-			perIPPower[i] = (me - lastEs[i]) / dt.Seconds()
-			lastEs[i] = me
-		}
-		pack.Step(batteryDraw(pAvg), dt)
-		plant.step(pAvg, perIPPower, dt)
-		lastE = e
-		lastSample = now
-		t := plant.tempC()
-		tempSeries.Add(now, t)
-		if t > peak {
-			peak = t
-		}
-		if g != nil && cfg.GEM.BusOccupancyLimit > 0 {
-			g.Reevaluate()
-		}
-	}
-	sampleTick := k.NewEvent("accountant.tick")
-	k.Method("accountant", func() {
-		sample()
-		sampleTick.Notify(cfg.SampleInterval)
-	}).Sensitive(sampleTick).DontInitialize()
-	sampleTick.Notify(cfg.SampleInterval)
+	acct := newAccountant(k, &cfg, pack, plant, meters, &busEnergyMeter, g)
+	acct.start()
 
 	wallStart := time.Now()
 	if err := k.Run(cfg.Horizon); err != nil {
@@ -589,7 +545,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Final partial sample so energy/temperature cover the full duration.
-	sample()
+	acct.sample()
 
 	res := &Result{
 		EnergyByIP: make(map[string]float64, len(meters)),
@@ -604,8 +560,8 @@ func Run(cfg Config) (*Result, error) {
 		res.EnergyJ += e
 	}
 	res.EnergyJ += busEnergyMeter
-	res.AvgTempC = tempSeries.MeanUntil(k.Now())
-	res.PeakTempC = peak
+	res.AvgTempC = acct.temp.MeanUntil(k.Now())
+	res.PeakTempC = acct.temp.Max()
 	res.Completed = true
 	for _, b := range ips {
 		res.TasksDone += b.TasksDone()
@@ -615,6 +571,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Cycles = res.Duration.Seconds() * cfg.BaseClockHz
 	res.WallSeconds = wall
+	res.Deltas = k.DeltaCount()
 	res.FinalSoC = pack.SoC()
 	res.FinalBatteryStatus = pack.Status()
 	res.LEMStats = make(map[string]lem.Stats, len(lems))

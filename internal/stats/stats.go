@@ -150,6 +150,90 @@ func (s *Series) MeanUntil(end sim.Time) float64 {
 	return area / span.Seconds()
 }
 
+// TimeWeighted is a streaming time-weighted accumulator: the O(1) memory
+// replacement for collecting a Series and calling MeanUntil/Max at the end.
+// Each Add declares the value holding from that time until the next Add
+// (piecewise constant, like Series). The accumulation order matches
+// Series.MeanUntil exactly — one area term per sample, added left to right
+// — so for identical samples the two produce bit-identical means.
+type TimeWeighted struct {
+	t0     sim.Time // time of the first sample
+	v0     float64  // first value (degenerate zero-span mean)
+	lastAt sim.Time
+	lastV  float64
+	area   float64 // ∫v dt up to lastAt, in value·seconds
+	peak   float64
+	min    float64
+	n      int
+}
+
+// Add appends a sample; times must be non-decreasing.
+func (w *TimeWeighted) Add(t sim.Time, v float64) {
+	if w.n == 0 {
+		w.t0, w.lastAt, w.lastV = t, t, v
+		w.v0 = v
+		w.peak, w.min = v, v
+		w.n = 1
+		return
+	}
+	if t < w.lastAt {
+		panic(fmt.Sprintf("stats: series times must be non-decreasing (%v after %v)", t, w.lastAt))
+	}
+	w.area += w.lastV * (t - w.lastAt).Seconds()
+	w.lastAt, w.lastV = t, v
+	w.n++
+	if v > w.peak {
+		w.peak = v
+	}
+	if v < w.min {
+		w.min = v
+	}
+}
+
+// Len returns the number of samples accumulated.
+func (w *TimeWeighted) Len() int { return w.n }
+
+// Last returns the most recent value (0 when empty).
+func (w *TimeWeighted) Last() float64 { return w.lastV }
+
+// Max returns the maximum sample seen (0 when empty).
+func (w *TimeWeighted) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.peak
+}
+
+// Min returns the minimum sample seen (0 when empty).
+func (w *TimeWeighted) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// MeanUntil returns the time-weighted mean over [first sample, end],
+// extending the last value to end; with no samples it returns 0. Unlike
+// Series, the accumulator keeps only O(1) state, so MeanUntil may be called
+// with any end >= the last sample time (earlier ends clamp to it, exactly
+// as Series.MeanUntil does).
+func (w *TimeWeighted) MeanUntil(end sim.Time) float64 {
+	if w.n == 0 {
+		return 0
+	}
+	if end < w.lastAt {
+		end = w.lastAt
+	}
+	span := end - w.t0
+	if span <= 0 {
+		// All samples at one instant: the first value holds, exactly as
+		// Series.MeanUntil returns vals[0].
+		return w.v0
+	}
+	area := w.area + w.lastV*(end-w.lastAt).Seconds()
+	return area / span.Seconds()
+}
+
 // TaskRecord is the ledger entry for one executed task.
 type TaskRecord struct {
 	IP     string

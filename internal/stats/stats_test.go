@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -210,4 +211,73 @@ func TestEnergyMeterProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// ---- TimeWeighted (streaming accumulator) ----
+
+// TestTimeWeightedMatchesSeries feeds identical random samples to the
+// streaming accumulator and the retained Series and requires bit-identical
+// statistics: the accountant rewrite in internal/soc leans on this
+// equivalence to keep simulation results byte-stable.
+func TestTimeWeightedMatchesSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var s Series
+		var w TimeWeighted
+		now := sim.Time(0)
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			v := rng.Float64()*100 - 20
+			s.Add(now, v)
+			w.Add(now, v)
+			now += sim.Time(rng.Intn(3)) * sim.Us // sometimes zero: repeated instants
+		}
+		end := now + sim.Time(rng.Intn(5))*sim.Us
+		if got, want := w.MeanUntil(end), s.MeanUntil(end); got != want {
+			t.Fatalf("trial %d: streaming mean %v != series mean %v", trial, got, want)
+		}
+		if got, want := w.Max(), s.Max(); got != want {
+			t.Fatalf("trial %d: streaming max %v != series max %v", trial, got, want)
+		}
+		if got, want := w.Min(), s.Min(); got != want {
+			t.Fatalf("trial %d: streaming min %v != series min %v", trial, got, want)
+		}
+		if got, want := w.Last(), s.Last(); got != want {
+			t.Fatalf("trial %d: streaming last %v != series last %v", trial, got, want)
+		}
+		if w.Len() != s.Len() {
+			t.Fatalf("trial %d: streaming len %d != series len %d", trial, w.Len(), s.Len())
+		}
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var w TimeWeighted
+	if w.MeanUntil(sim.Sec) != 0 || w.Max() != 0 || w.Min() != 0 || w.Last() != 0 || w.Len() != 0 {
+		t.Errorf("empty accumulator must report zeros, got mean=%v max=%v min=%v last=%v len=%d",
+			w.MeanUntil(sim.Sec), w.Max(), w.Min(), w.Last(), w.Len())
+	}
+}
+
+func TestTimeWeightedSingleInstant(t *testing.T) {
+	var w TimeWeighted
+	w.Add(sim.Us, 3)
+	w.Add(sim.Us, 9) // same instant: first value defines the zero-span mean
+	if got := w.MeanUntil(sim.Us); got != 3 {
+		t.Errorf("zero-span mean = %v, want first value 3", got)
+	}
+	if got := w.MeanUntil(2 * sim.Us); got != 9 {
+		t.Errorf("extended mean = %v, want last value 9", got)
+	}
+}
+
+func TestTimeWeightedNonDecreasing(t *testing.T) {
+	var w TimeWeighted
+	w.Add(sim.Ms, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on decreasing time")
+		}
+	}()
+	w.Add(sim.Us, 2)
 }
