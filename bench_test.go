@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation,
-// plus the ablations DESIGN.md calls out and kernel micro-benchmarks backing
+// plus the documented ablations and kernel micro-benchmarks backing
 // the simulation-speed comparison.
 //
 // Paper artefacts:
@@ -169,7 +169,7 @@ func BenchmarkEngine(b *testing.B) {
 	})
 }
 
-// ---- Ablations (design choices called out in DESIGN.md) ----
+// ---- Ablations (the design choices README.md calls out) ----
 
 // reportRun reports a run's headline numbers as metrics.
 func reportRun(b *testing.B, res *soc.Result) {

@@ -30,9 +30,7 @@ import (
 	"sort"
 	"strings"
 
-	"godpm/internal/engine"
-	"godpm/internal/experiments"
-	"godpm/internal/sweep"
+	"godpm"
 )
 
 func main() {
@@ -54,7 +52,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	tuning := experiments.DefaultTuning()
+	tuning := godpm.DefaultTuning()
 	if *tasks > 0 {
 		tuning.NumTasks = *tasks
 	}
@@ -72,17 +70,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cache engine.Cache
+	var cache godpm.Cache
 	if *cacheDir != "" {
-		if cache, err = engine.NewDisk(*cacheDir); err != nil {
+		if cache, err = godpm.NewDiskCache(*cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	opts := engine.Options{Workers: *workers, Cache: cache}
+	opts := godpm.EngineOptions{Workers: *workers, Cache: cache}
 	if *verbose {
-		done := 0 // OnResult calls are serialised, so a plain counter is safe
-		opts.OnResult = func(i int, jr engine.JobResult) {
+		// OnStart/OnResult calls are serialised by the engine, so plain
+		// counters are safe; together they stream the live grid progress.
+		started, done := 0, 0
+		opts.OnStart = func(i int, job godpm.Job) {
+			started++
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-24s start\n", started, plan.Len(), job.ID)
+		}
+		opts.OnResult = func(i int, jr godpm.JobResult) {
 			status := "ran"
 			if jr.CacheHit {
 				status = "cached"
@@ -94,7 +98,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-24s %s\n", done, plan.Len(), jr.Job.ID, status)
 		}
 	}
-	eng := engine.New(opts)
+	eng := godpm.NewEngine(opts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -115,8 +119,8 @@ func main() {
 
 // buildPlan assembles the grid: scenarios × seed replicates, plus an
 // optional parameter study.
-func buildPlan(scenarioSpec, studyName string, replicates int, tuning experiments.Tuning) (engine.Plan, error) {
-	var plan engine.Plan
+func buildPlan(scenarioSpec, studyName string, replicates int, tuning godpm.Tuning) (godpm.Plan, error) {
+	var plan godpm.Plan
 	if replicates < 1 {
 		replicates = 1
 	}
@@ -126,7 +130,7 @@ func buildPlan(scenarioSpec, studyName string, replicates int, tuning experiment
 		if err != nil {
 			return plan, err
 		}
-		scenarios := make([]experiments.Scenario, len(ids))
+		scenarios := make([]godpm.Scenario, len(ids))
 		for i, id := range ids {
 			if scenarios[i], err = scenarioByAnyID(id, tuning); err != nil {
 				return plan, err
@@ -136,7 +140,7 @@ func buildPlan(scenarioSpec, studyName string, replicates int, tuning experiment
 		for r := range seeds {
 			seeds[r] = tuning.Seed + int64(r)
 		}
-		plan = experiments.ReplicatedPlan(scenarios, seeds, func(s experiments.Scenario, seed int64) experiments.Scenario {
+		plan = godpm.ReplicatedScenarioPlan(scenarios, seeds, func(s godpm.Scenario, seed int64) godpm.Scenario {
 			t := tuning
 			t.Seed = seed
 			r, err := scenarioByAnyID(s.ID, t)
@@ -149,7 +153,7 @@ func buildPlan(scenarioSpec, studyName string, replicates int, tuning experiment
 	}
 
 	if studyName != "" {
-		studies := sweep.Studies(tuning.Seed, tuning.NumTasks)
+		studies := godpm.Studies(tuning.Seed, tuning.NumTasks)
 		st, ok := studies[studyName]
 		if !ok {
 			names := make([]string, 0, len(studies))
@@ -165,18 +169,18 @@ func buildPlan(scenarioSpec, studyName string, replicates int, tuning experiment
 }
 
 // expandScenarioIDs resolves the -scenarios spec to concrete IDs.
-func expandScenarioIDs(spec string, t experiments.Tuning) ([]string, error) {
+func expandScenarioIDs(spec string, t godpm.Tuning) ([]string, error) {
 	var ids []string
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		switch {
 		case part == "":
 		case strings.EqualFold(part, "all"):
-			for _, s := range experiments.All(t) {
+			for _, s := range godpm.Scenarios(t) {
 				ids = append(ids, s.ID)
 			}
 		case strings.EqualFold(part, "ext"):
-			for _, s := range experiments.Extensions(t) {
+			for _, s := range godpm.Extensions(t) {
 				ids = append(ids, s.ID)
 			}
 		default:
@@ -190,21 +194,21 @@ func expandScenarioIDs(spec string, t experiments.Tuning) ([]string, error) {
 }
 
 // scenarioByAnyID resolves paper scenarios and extensions alike.
-func scenarioByAnyID(id string, t experiments.Tuning) (experiments.Scenario, error) {
-	if s, err := experiments.ByID(strings.ToUpper(id), t); err == nil {
+func scenarioByAnyID(id string, t godpm.Tuning) (godpm.Scenario, error) {
+	if s, err := godpm.ScenarioByID(strings.ToUpper(id), t); err == nil {
 		return s, nil
 	}
-	if s, err := experiments.ExtensionByID(id, t); err == nil {
+	if s, err := godpm.ExtensionByID(id, t); err == nil {
 		return s, nil
 	}
 	known := make([]string, 0, 9)
-	for _, s := range experiments.All(t) {
+	for _, s := range godpm.Scenarios(t) {
 		known = append(known, s.ID)
 	}
-	for _, s := range experiments.Extensions(t) {
+	for _, s := range godpm.Extensions(t) {
 		known = append(known, s.ID)
 	}
-	return experiments.Scenario{}, fmt.Errorf("unknown scenario %q; available: %v", id, known)
+	return godpm.Scenario{}, fmt.Errorf("unknown scenario %q; available: %v", id, known)
 }
 
 // record is the flat per-job output row.
@@ -223,7 +227,7 @@ type record struct {
 	KCyclesPerS float64 `json:"kcycles_per_s"`
 }
 
-func toRecord(jr engine.JobResult) record {
+func toRecord(jr godpm.JobResult) record {
 	rec := record{ID: jr.Job.ID, Key: jr.Key, CacheHit: jr.CacheHit}
 	if jr.Err != nil {
 		rec.Error = jr.Err.Error()
@@ -241,7 +245,7 @@ func toRecord(jr engine.JobResult) record {
 	return rec
 }
 
-func writeResults(w *os.File, format string, results []engine.JobResult, st engine.Stats) error {
+func writeResults(w *os.File, format string, results []godpm.JobResult, st godpm.EngineStats) error {
 	switch format {
 	case "json":
 		recs := make([]record, len(results))
@@ -251,8 +255,8 @@ func writeResults(w *os.File, format string, results []engine.JobResult, st engi
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
-			Jobs  []record     `json:"jobs"`
-			Stats engine.Stats `json:"stats"`
+			Jobs  []record          `json:"jobs"`
+			Stats godpm.EngineStats `json:"stats"`
 		}{recs, st})
 	case "csv":
 		if _, err := fmt.Fprintln(w, "id,key,cache_hit,error,energy_j,duration_s,avg_temp_c,peak_temp_c,tasks_done,completed,final_soc,kcycles_per_s"); err != nil {

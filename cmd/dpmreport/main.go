@@ -1,6 +1,6 @@
 // Command dpmreport runs the full Table 2 reproduction and writes a
 // Markdown report (comparison table, shape checks, per-scenario details) —
-// the mechanical regeneration of EXPERIMENTS.md's measured content.
+// the mechanical regeneration of the README's measured Table 2 content.
 //
 // Usage:
 //
@@ -12,8 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"godpm/internal/core"
-	"godpm/internal/experiments"
+	"godpm"
 	"godpm/internal/report"
 )
 
@@ -26,7 +25,7 @@ func main() {
 	)
 	flag.Parse()
 
-	tuning := core.DefaultTuning()
+	tuning := godpm.DefaultTuning()
 	if *tasks > 0 {
 		tuning.NumTasks = *tasks
 	}
@@ -34,10 +33,10 @@ func main() {
 		tuning.Seed = *seed
 	}
 
-	var rows []experiments.Row
-	for _, s := range core.Scenarios(tuning) {
+	var rows []godpm.Row
+	for _, s := range godpm.Scenarios(tuning) {
 		fmt.Fprintf(os.Stderr, "running %s...\n", s.ID)
-		row, err := core.RunScenario(s)
+		row, err := godpm.RunScenario(s)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

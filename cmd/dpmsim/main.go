@@ -15,7 +15,7 @@ import (
 	"os"
 	"strings"
 
-	"godpm/internal/core"
+	"godpm"
 )
 
 func main() {
@@ -29,7 +29,7 @@ func main() {
 	)
 	flag.Parse()
 
-	tuning := core.DefaultTuning()
+	tuning := godpm.DefaultTuning()
 	if *tasks > 0 {
 		tuning.NumTasks = *tasks
 	}
@@ -37,32 +37,32 @@ func main() {
 		tuning.Seed = *seed
 	}
 
-	var scenarios []core.Scenario
+	var scenarios []godpm.Scenario
 	if strings.EqualFold(*run, "all") {
-		scenarios = core.Scenarios(tuning)
+		scenarios = godpm.Scenarios(tuning)
 		if *ext {
-			scenarios = append(scenarios, core.Extensions(tuning)...)
+			scenarios = append(scenarios, godpm.Extensions(tuning)...)
 		}
 	} else {
-		s, err := core.ScenarioByID(strings.ToUpper(*run), tuning)
+		s, err := godpm.ScenarioByID(strings.ToUpper(*run), tuning)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		scenarios = []core.Scenario{s}
+		scenarios = []godpm.Scenario{s}
 	}
 
 	if *topology {
 		for _, s := range scenarios {
-			fmt.Println(core.Topology(s))
+			fmt.Println(godpm.Topology(s))
 		}
 		return
 	}
 
-	var rows []core.Row
+	var rows []godpm.Row
 	for _, s := range scenarios {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.ID, s.Description)
-		row, err := core.RunScenario(s)
+		row, err := godpm.RunScenario(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
 			os.Exit(1)
@@ -74,16 +74,16 @@ func main() {
 	}
 
 	fmt.Println("Table 2 — Performances of the DPM in the different simulations")
-	fmt.Print(core.FormatTable2(rows))
+	fmt.Print(godpm.FormatTable2(rows))
 	fmt.Println("\n(shape comparison: absolute numbers depend on the synthetic")
-	fmt.Println(" power/battery/thermal characterisation; see EXPERIMENTS.md)")
+	fmt.Println(" power/battery/thermal characterisation; see README.md)")
 	for _, row := range rows {
 		fmt.Printf("sim speed %-3s: DPM %.1f Kcycle/s, baseline %.1f Kcycle/s\n",
 			row.ID, row.DPM.KCyclesPerSec(), row.Base.KCyclesPerSec())
 	}
 }
 
-func printDetails(row core.Row) {
+func printDetails(row godpm.Row) {
 	d, b := row.DPM, row.Base
 	fmt.Printf("  %s: dpm %.4f J in %v (%d tasks, completed=%v)\n",
 		row.ID, d.EnergyJ, d.Duration, d.TasksDone, d.Completed)

@@ -1,7 +1,7 @@
 // Command dpmtable reproduces the paper's Table 1: it prints the power-state
 // selection policy in the paper's layout, the full decision table over the
 // quantised input space, and the coverage analysis of the literal paper
-// table (its dead row and its undecided region — see DESIGN.md).
+// table (its dead row and its undecided region — see internal/rules).
 //
 // Usage:
 //

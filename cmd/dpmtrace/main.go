@@ -1,4 +1,4 @@
-// Command dpmtrace runs one scenario with waveform tracing enabled and
+// Command dpmtrace runs one scenario with waveform observers attached and
 // writes a VCD file (PSM states, battery class, temperature class — open it
 // in GTKWave) and a CSV file (sampled temperature, state of charge and
 // per-IP power) — the signals the paper's SystemC study inspected.
@@ -9,12 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"godpm/internal/core"
+	"godpm"
 )
 
 func main() {
@@ -27,18 +28,18 @@ func main() {
 	)
 	flag.Parse()
 
-	tuning := core.DefaultTuning()
+	tuning := godpm.DefaultTuning()
 	if *tasks > 0 {
 		tuning.NumTasks = *tasks
 	}
-	s, err := core.ScenarioByID(strings.ToUpper(*scenario), tuning)
+	s, err := godpm.ScenarioByID(strings.ToUpper(*scenario), tuning)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	cfg := s.Config
 	if *baseline {
-		cfg = core.Baseline(s)
+		cfg = godpm.Baseline(s)
 	}
 
 	vcdFile, err := os.Create(*vcdPath)
@@ -54,10 +55,12 @@ func main() {
 	}
 	defer csvFile.Close()
 
-	cfg.TraceVCD = vcdFile
-	cfg.TraceCSV = csvFile
-
-	res, err := core.Run(cfg)
+	res, err := godpm.RunWith(context.Background(), cfg, godpm.RunOptions{
+		Observers: []godpm.Observer{
+			godpm.NewVCDObserver(vcdFile),
+			godpm.NewCSVObserver(csvFile),
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

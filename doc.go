@@ -5,8 +5,24 @@
 // Global Energy Manager arbitrating on battery status, chip temperature and
 // static priorities — rebuilt on a SystemC-like discrete-event kernel.
 //
-// The public entry point is internal/core; the experiment harness that
-// regenerates the paper's Table 1 and Table 2 lives in internal/experiments
-// and is exercised by the benchmarks in bench_test.go. See README.md,
-// DESIGN.md and EXPERIMENTS.md.
+// This root package is the public façade: it re-exports everything needed
+// to assemble and run a DPM-managed SoC, watch it through streaming
+// Observers, cut runs short with StopCondition, regenerate the paper's
+// Table 2 scenarios, and execute grids on the concurrent cached batch
+// engine:
+//
+//	cfg := godpm.Config{
+//	    IPs:    []godpm.IPSpec{{Name: "cpu", Sequence: seq}},
+//	    Policy: godpm.PolicyDPM,
+//	}
+//	res, err := godpm.RunWith(ctx, cfg, godpm.RunOptions{
+//	    Observers: []godpm.Observer{godpm.NewVCDObserver(f)},
+//	    StopWhen:  []godpm.StopCondition{godpm.StopOnBatteryEmpty()},
+//	})
+//
+// See README.md for the package map, the experiment harness and the
+// migration notes from the pre-2.0 Config.TraceVCD/TraceCSV fields. The
+// implementation packages remain under internal/ (sim, acpi, lem, gem,
+// battery, thermal, rules, workload, bus, soc, engine, experiments) and
+// runnable examples under examples/.
 package godpm

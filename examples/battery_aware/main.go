@@ -1,21 +1,22 @@
 // Battery-aware scaling: the same workload executed at different battery
 // levels shows Table 1 in action — a full battery runs tasks at ON1/ON2, a
 // low battery forces everyone to ON4 (4× slower, far less energy), and an
-// empty battery parks all but very-high-priority tasks.
+// empty battery parks all but very-high-priority tasks. A final run-to-
+// battery-death experiment uses RunWith's StopWhen conditions to measure
+// lifetime directly instead of guessing a horizon.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
-	"godpm/internal/core"
-	"godpm/internal/sim"
-	"godpm/internal/workload"
+	"godpm"
 )
 
 func main() {
-	seq := workload.HighActivity(11, 40).MustGenerate()
+	seq := godpm.HighActivity(11, 40).MustGenerate()
 
 	levels := []struct {
 		name string
@@ -29,13 +30,13 @@ func main() {
 
 	fmt.Printf("%-14s %10s %14s %12s  %s\n", "battery", "energy J", "duration", "final SoC", "ON-state mix")
 	for _, lv := range levels {
-		cfg := core.Config{
-			IPs:     []core.IPSpec{{Name: "cpu", Sequence: seq}},
-			Policy:  core.PolicyDPM,
-			Battery: core.DefaultBattery(lv.soc),
-			Horizon: 60 * sim.Sec,
+		cfg := godpm.Config{
+			IPs:     []godpm.IPSpec{{Name: "cpu", Sequence: seq}},
+			Policy:  godpm.PolicyDPM,
+			Battery: godpm.DefaultBattery(lv.soc),
+			Horizon: 60 * godpm.Sec,
 		}
-		res, err := core.Run(cfg)
+		res, err := godpm.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,6 +46,28 @@ func main() {
 	}
 	fmt.Println("\nLower battery classes trade latency (slower ON states) for charge,")
 	fmt.Println("exactly as Table 1 prescribes.")
+
+	// Run to battery death: loop the workload far past the horizon and let
+	// a stop condition end the run the instant the battery class reaches
+	// Empty — the lifetime experiment a fixed Horizon cannot express.
+	long := godpm.HighActivity(11, 4000).MustGenerate()
+	fmt.Println("\ntime to battery death (DPM vs always-on, 6% charge):")
+	for _, policy := range []godpm.PolicyKind{godpm.PolicyAlwaysOn, godpm.PolicyDPM} {
+		cfg := godpm.Config{
+			IPs:     []godpm.IPSpec{{Name: "cpu", Sequence: long}},
+			Policy:  policy,
+			Battery: godpm.DefaultBattery(0.06),
+			Horizon: 600 * godpm.Sec,
+		}
+		res, err := godpm.RunWith(context.Background(), cfg, godpm.RunOptions{
+			StopWhen: []godpm.StopCondition{godpm.StopOnBatteryEmpty()},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s lived %14v, %4d tasks done (stop: %s)\n",
+			policy, res.Duration, res.TasksDone, res.StopReason)
+	}
 }
 
 func mixString(m map[string]int) string {

@@ -8,8 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"godpm/internal/core"
-	"godpm/internal/workload"
+	"godpm"
 )
 
 // A policy that prioritises battery life over speed: nothing ever runs
@@ -25,7 +24,7 @@ default ON3
 `
 
 func main() {
-	table, err := core.ParseRules(batterySaver)
+	table, err := godpm.ParseRules(batterySaver)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,15 +34,15 @@ func main() {
 	fmt.Println("custom policy:")
 	fmt.Print(table.Format())
 
-	seq := workload.HighActivity(5, 40).MustGenerate()
-	run := func(label string, opts core.LEMOptions) {
-		cfg := core.Config{
-			IPs:     []core.IPSpec{{Name: "cpu", Sequence: seq}},
-			Policy:  core.PolicyDPM,
+	seq := godpm.HighActivity(5, 40).MustGenerate()
+	run := func(label string, opts godpm.LEMOptions) {
+		cfg := godpm.Config{
+			IPs:     []godpm.IPSpec{{Name: "cpu", Sequence: seq}},
+			Policy:  godpm.PolicyDPM,
 			LEM:     opts,
-			Battery: core.DefaultBattery(0.95),
+			Battery: godpm.DefaultBattery(0.95),
 		}
-		res, err := core.Run(cfg)
+		res, err := godpm.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,6 +52,6 @@ func main() {
 	}
 
 	fmt.Println()
-	run("paper Table 1", core.LEMOptions{})
-	run("battery saver", core.LEMOptions{Table: table})
+	run("paper Table 1", godpm.LEMOptions{})
+	run("battery saver", godpm.LEMOptions{Table: table})
 }

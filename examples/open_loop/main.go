@@ -10,29 +10,27 @@ import (
 	"fmt"
 	"log"
 
-	"godpm/internal/core"
-	"godpm/internal/sim"
-	"godpm/internal/workload"
+	"godpm"
 )
 
 func main() {
 	fmt.Printf("%-14s %-10s %12s %14s %14s\n",
 		"inter-arrival", "policy", "energy J", "avg service", "max service")
 	for _, gapMs := range []float64{120, 60, 30, 10} {
-		for _, policy := range []core.Config{{Policy: core.PolicyAlwaysOn}, {Policy: core.PolicyDPM}} {
-			p := workload.HighActivity(21, 40)
-			p.MeanIdle = sim.Time(gapMs * float64(sim.Ms))
+		for _, policy := range []godpm.Config{{Policy: godpm.PolicyAlwaysOn}, {Policy: godpm.PolicyDPM}} {
+			p := godpm.HighActivity(21, 40)
+			p.MeanIdle = godpm.Time(gapMs * float64(godpm.Ms))
 			arrivals := p.MustGenerateArrivals(200e6)
 
 			cfg := policy
-			cfg.IPs = []core.IPSpec{{Name: "cpu", Arrivals: arrivals}}
-			cfg.Battery = core.DefaultBattery(0.25) // Low: DPM runs at ON4
-			cfg.Horizon = 60 * sim.Sec
-			res, err := core.Run(cfg)
+			cfg.IPs = []godpm.IPSpec{{Name: "cpu", Arrivals: arrivals}}
+			cfg.Battery = godpm.DefaultBattery(0.25) // Low: DPM runs at ON4
+			cfg.Horizon = 60 * godpm.Sec
+			res, err := godpm.Run(cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
-			var sum, max sim.Time
+			var sum, max godpm.Time
 			for _, r := range res.Ledger.Records() {
 				s := r.Service()
 				sum += s
@@ -40,9 +38,9 @@ func main() {
 					max = s
 				}
 			}
-			avg := sum / sim.Time(res.Ledger.Len())
+			avg := sum / godpm.Time(res.Ledger.Len())
 			fmt.Printf("%-14s %-10s %12.4f %14v %14v\n",
-				sim.Time(gapMs*float64(sim.Ms)), cfg.Policy, res.EnergyJ, avg, max)
+				godpm.Time(gapMs*float64(godpm.Ms)), cfg.Policy, res.EnergyJ, avg, max)
 		}
 	}
 	fmt.Println("\nAt light load the ON4-throttled DPM core keeps up cheaply; as the")

@@ -9,41 +9,39 @@ import (
 	"fmt"
 	"log"
 
-	"godpm/internal/core"
-	"godpm/internal/stats"
-	"godpm/internal/workload"
+	"godpm"
 )
 
 func main() {
-	seq := workload.LowActivity(3, 40).MustGenerate() // idle-heavy: sleeping matters
+	seq := godpm.LowActivity(3, 40).MustGenerate() // idle-heavy: sleeping matters
 
-	policies := []core.Config{
-		{Policy: core.PolicyAlwaysOn},
-		{Policy: core.PolicyGreedy},
-		{Policy: core.PolicyTimeout},
-		{Policy: core.PolicyOracle},
-		{Policy: core.PolicyDPM},
+	policies := []godpm.Config{
+		{Policy: godpm.PolicyAlwaysOn},
+		{Policy: godpm.PolicyGreedy},
+		{Policy: godpm.PolicyTimeout},
+		{Policy: godpm.PolicyOracle},
+		{Policy: godpm.PolicyDPM},
 	}
 
-	var baseline *core.Result
+	var baseline *godpm.Result
 	fmt.Printf("%-10s %12s %14s %16s %18s\n", "policy", "energy J", "duration", "saving vs base", "delay vs base")
 	for _, cfg := range policies {
-		cfg.IPs = []core.IPSpec{{Name: "cpu", Sequence: seq}}
-		cfg.Battery = core.DefaultBattery(0.45) // Medium: priorities spread the ON states
-		res, err := core.Run(cfg)
+		cfg.IPs = []godpm.IPSpec{{Name: "cpu", Sequence: seq}}
+		cfg.Battery = godpm.DefaultBattery(0.45) // Medium: priorities spread the ON states
+		res, err := godpm.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if cfg.Policy == core.PolicyAlwaysOn {
+		if cfg.Policy == godpm.PolicyAlwaysOn {
 			baseline = res
 			fmt.Printf("%-10s %12.4f %14v %16s %18s\n", cfg.Policy, res.EnergyJ, res.Duration, "—", "—")
 			continue
 		}
-		saving, err := stats.EnergySavingPct(baseline.EnergyJ, res.EnergyJ)
+		saving, err := godpm.EnergySavingPct(baseline.EnergyJ, res.EnergyJ)
 		if err != nil {
 			log.Fatal(err)
 		}
-		delay, err := stats.DelayOverheadPct(baseline.Ledger, res.Ledger)
+		delay, err := godpm.DelayOverheadPct(baseline.Ledger, res.Ledger)
 		if err != nil {
 			log.Fatal(err)
 		}

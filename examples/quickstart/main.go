@@ -7,28 +7,27 @@ import (
 	"fmt"
 	"log"
 
-	"godpm/internal/core"
-	"godpm/internal/workload"
+	"godpm"
 )
 
 func main() {
 	// A traffic-generator workload: 50 tasks, busy roughly half the time,
 	// with mixed instruction classes and priorities.
-	seq := workload.HighActivity(7, 50).MustGenerate()
+	seq := godpm.HighActivity(7, 50).MustGenerate()
 
-	cfg := core.Config{
-		IPs:      []core.IPSpec{{Name: "cpu", Sequence: seq}},
-		Policy:   core.PolicyDPM,
-		Battery:  core.DefaultBattery(0.95), // battery Full
+	cfg := godpm.Config{
+		IPs:      []godpm.IPSpec{{Name: "cpu", Sequence: seq}},
+		Policy:   godpm.PolicyDPM,
+		Battery:  godpm.DefaultBattery(0.95), // battery Full
 		BusWords: 32,
 	}
-	dpm, err := core.Run(cfg)
+	dpm, err := godpm.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg.Policy = core.PolicyAlwaysOn
-	base, err := core.Run(cfg)
+	cfg.Policy = godpm.PolicyAlwaysOn
+	base, err := godpm.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,31 +9,29 @@ import (
 	"fmt"
 	"log"
 
-	"godpm/internal/core"
-	"godpm/internal/sim"
-	"godpm/internal/workload"
+	"godpm"
 )
 
 func main() {
-	var specs []core.IPSpec
+	var specs []godpm.IPSpec
 	for i := 0; i < 4; i++ {
-		specs = append(specs, core.IPSpec{
+		specs = append(specs, godpm.IPSpec{
 			Name:           fmt.Sprintf("ip%d", i+1),
-			Sequence:       workload.HighActivity(int64(i+1), 30).MustGenerate(),
+			Sequence:       godpm.HighActivity(int64(i+1), 30).MustGenerate(),
 			StaticPriority: i + 1,
 		})
 	}
 
 	run := func(initialTempC float64, label string) {
-		cfg := core.Config{
+		cfg := godpm.Config{
 			IPs:          specs,
-			Policy:       core.PolicyDPM,
+			Policy:       godpm.PolicyDPM,
 			UseGEM:       true,
-			Battery:      core.DefaultBattery(0.95),
+			Battery:      godpm.DefaultBattery(0.95),
 			InitialTempC: initialTempC,
-			Horizon:      120 * sim.Sec,
+			Horizon:      120 * godpm.Sec,
 		}
-		res, err := core.Run(cfg)
+		res, err := godpm.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,14 +48,14 @@ func main() {
 	run(95, "hot start (95°C)")
 
 	// Contrast: the baseline has no thermal control at all.
-	base := core.Config{
+	base := godpm.Config{
 		IPs:          specs,
-		Policy:       core.PolicyAlwaysOn,
-		Battery:      core.DefaultBattery(0.95),
+		Policy:       godpm.PolicyAlwaysOn,
+		Battery:      godpm.DefaultBattery(0.95),
 		InitialTempC: 95,
-		Horizon:      120 * sim.Sec,
+		Horizon:      120 * godpm.Sec,
 	}
-	res, err := core.Run(base)
+	res, err := godpm.Run(base)
 	if err != nil {
 		log.Fatal(err)
 	}

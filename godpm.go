@@ -1,0 +1,280 @@
+package godpm
+
+import (
+	"context"
+	"io"
+
+	"godpm/internal/engine"
+	"godpm/internal/experiments"
+	"godpm/internal/rules"
+	"godpm/internal/sim"
+	"godpm/internal/soc"
+	"godpm/internal/stats"
+	"godpm/internal/sweep"
+	"godpm/internal/trace"
+	"godpm/internal/workload"
+)
+
+// Version identifies the library release. 2.x is the observer-based run
+// API: Config carries no output hooks, instrumentation attaches through
+// RunWith/RunOptions.
+const Version = "2.0.0"
+
+// Simulated time. One Time unit is a nanosecond; use the unit constants to
+// build durations (Horizon: 60 * godpm.Sec).
+type Time = sim.Time
+
+// Time units.
+const (
+	Ns  = sim.Ns
+	Us  = sim.Us
+	Ms  = sim.Ms
+	Sec = sim.Sec
+)
+
+// Configuration and result types.
+type (
+	// Config describes a complete SoC simulation. It is pure value data:
+	// hashable, cacheable, and free of output hooks — attach those through
+	// RunOptions.
+	Config = soc.Config
+	// IPSpec describes one IP block.
+	IPSpec = soc.IPSpec
+	// Result carries measurements of one run.
+	Result = soc.Result
+	// PolicyKind selects the energy-management policy (see the Policy
+	// constants).
+	PolicyKind = soc.PolicyKind
+	// BatteryConfig selects the battery model.
+	BatteryConfig = soc.BatteryConfig
+	// LEMOptions tunes the local energy managers.
+	LEMOptions = soc.LEMOptions
+	// Scenario is one of the paper's experiments.
+	Scenario = experiments.Scenario
+	// Row is one measured Table 2 line.
+	Row = experiments.Row
+	// Tuning sets experiment-wide workload knobs.
+	Tuning = experiments.Tuning
+)
+
+// Policy kinds.
+const (
+	PolicyDPM      = soc.PolicyDPM
+	PolicyAlwaysOn = soc.PolicyAlwaysOn
+	PolicyTimeout  = soc.PolicyTimeout
+	PolicyGreedy   = soc.PolicyGreedy
+	PolicyOracle   = soc.PolicyOracle
+)
+
+// LEM predictor kinds.
+const (
+	PredictorEWMA     = soc.PredictorEWMA
+	PredictorLast     = soc.PredictorLast
+	PredictorPerfect  = soc.PredictorPerfect
+	PredictorAdaptive = soc.PredictorAdaptive
+	PredictorQuantile = soc.PredictorQuantile
+)
+
+// Run simulates the configured SoC to completion or to the horizon.
+func Run(cfg Config) (*Result, error) { return soc.Run(cfg) }
+
+// RunWith simulates like Run, with run-time options: streaming observers
+// and early-stop conditions. Cancellation via ctx is polled at every
+// sample tick.
+func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*Result, error) {
+	return soc.RunWith(ctx, cfg, opts)
+}
+
+// Instrumentation: the observer API.
+type (
+	// Observer receives streaming callbacks during a run (PSM state
+	// changes, task completions, periodic samples, battery/thermal class
+	// transitions, run end). Embed NopObserver and override what you need.
+	Observer = soc.Observer
+	// NopObserver implements every Observer callback as a no-op.
+	NopObserver = soc.NopObserver
+	// RunInfo describes the run an observer is attached to.
+	RunInfo = soc.RunInfo
+	// Sample is one periodic temperature/power/state-of-charge sample.
+	Sample = soc.Sample
+	// RunOptions carries observers and stop conditions for RunWith.
+	RunOptions = soc.RunOptions
+	// StopCondition ends a run early (see the StopOn constructors).
+	StopCondition = soc.StopCondition
+	// Probe is the live view a StopCondition evaluates against.
+	Probe = soc.Probe
+	// VCDObserver writes the run's waveforms as a GTKWave-compatible VCD.
+	VCDObserver = trace.VCDObserver
+	// CSVObserver writes one CSV row per periodic sample.
+	CSVObserver = trace.CSVObserver
+)
+
+// NewVCDObserver returns an observer streaming the PSM/battery/thermal
+// waveforms to w in VCD format.
+func NewVCDObserver(w io.Writer) *VCDObserver { return trace.NewVCDObserver(w) }
+
+// NewCSVObserver returns an observer writing sampled scalars (temperature,
+// state of charge, per-IP power) to w as CSV.
+func NewCSVObserver(w io.Writer) *CSVObserver { return trace.NewCSVObserver(w) }
+
+// Early-stop conditions for RunOptions.StopWhen.
+var (
+	// StopOnBatteryEmpty ends the run when the battery class hits Empty.
+	StopOnBatteryEmpty = soc.StopOnBatteryEmpty
+	// StopOnTemperature ends the run at a die-temperature ceiling.
+	StopOnTemperature = soc.StopOnTemperature
+	// StopOnEnergyBudget ends the run once a total energy budget is spent.
+	StopOnEnergyBudget = soc.StopOnEnergyBudget
+	// StopOnSoC ends the run when the state of charge reaches a floor.
+	StopOnSoC = soc.StopOnSoC
+	// StopOnWallClock ends the run after a host-time budget (volatile:
+	// such jobs are never cached by the engine).
+	StopOnWallClock = soc.StopOnWallClock
+)
+
+// DefaultBattery returns the experiments' battery at the given state of
+// charge.
+func DefaultBattery(initialSoC float64) BatteryConfig { return soc.DefaultBattery(initialSoC) }
+
+// Scenarios returns the paper's six Table 2 experiments.
+func Scenarios(t Tuning) []Scenario { return experiments.All(t) }
+
+// Extensions returns the beyond-the-paper scenarios (per-IP thermal
+// network, open-loop arrivals, regulator losses).
+func Extensions(t Tuning) []Scenario { return experiments.Extensions(t) }
+
+// ScenarioByID returns one named paper experiment (A1..A4, B, C).
+func ScenarioByID(id string, t Tuning) (Scenario, error) { return experiments.ByID(id, t) }
+
+// ExtensionByID returns one named extension scenario.
+func ExtensionByID(id string, t Tuning) (Scenario, error) { return experiments.ExtensionByID(id, t) }
+
+// DefaultTuning returns the experiments' default workload knobs.
+func DefaultTuning() Tuning { return experiments.DefaultTuning() }
+
+// RunScenario executes a scenario and its always-on baseline and computes
+// the Table 2 row.
+func RunScenario(s Scenario) (Row, error) { return experiments.RunScenario(s) }
+
+// Baseline derives the always-on reference configuration of a scenario.
+func Baseline(s Scenario) Config { return experiments.Baseline(s) }
+
+// FormatTable2 renders measured rows next to the paper's numbers.
+func FormatTable2(rows []Row) string { return experiments.FormatTable2(rows) }
+
+// Topology renders a scenario's Fig. 1 component graph.
+func Topology(s Scenario) string { return experiments.Topology(s) }
+
+// Batch engine: the concurrent, cached execution layer for scenario
+// grids, sweeps and replicated runs.
+type (
+	// Engine shards simulation jobs across a worker pool with result
+	// caching.
+	Engine = engine.Engine
+	// EngineOptions configures workers, cache and progress callbacks.
+	EngineOptions = engine.Options
+	// EngineStats are the engine's cumulative hit/miss/run counters.
+	EngineStats = engine.Stats
+	// Plan is an ordered list of simulation jobs.
+	Plan = engine.Plan
+	// Job is one unit of work: a Config plus optional RunOptions.
+	Job = engine.Job
+	// JobResult is one job's outcome (result, cache hit, error).
+	JobResult = engine.JobResult
+	// Cache stores results by fingerprint (see NewDiskCache).
+	Cache = engine.Cache
+)
+
+// NewEngine builds a batch engine (Workers == 0 means NumCPU).
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// NewDiskCache opens a directory-backed result cache for EngineOptions.
+func NewDiskCache(dir string) (Cache, error) { return engine.NewDisk(dir) }
+
+// Fingerprint returns the canonical content hash of a configuration (the
+// engine's cache key).
+func Fingerprint(cfg Config) (string, error) { return engine.Fingerprint(cfg) }
+
+// ResultDigest hashes the deterministic content of a Result (everything
+// except host-timing fields), for determinism checks across runs.
+func ResultDigest(r *Result) string { return engine.ResultDigest(r) }
+
+// ScenarioPlan lays scenarios out as dpm/baseline job pairs.
+func ScenarioPlan(scenarios []Scenario) Plan { return experiments.Plan(scenarios) }
+
+// ReplicatedScenarioPlan fans scenarios out across workload seeds; rebuild
+// regenerates a scenario for one seed.
+func ReplicatedScenarioPlan(scenarios []Scenario, seeds []int64, rebuild func(s Scenario, seed int64) Scenario) Plan {
+	return experiments.ReplicatedPlan(scenarios, seeds, rebuild)
+}
+
+// RunScenarios executes scenarios on the engine and returns Table 2 rows.
+func RunScenarios(ctx context.Context, eng *Engine, scenarios []Scenario) ([]Row, error) {
+	return experiments.RunScenarios(ctx, eng, scenarios)
+}
+
+// Parameter sweeps.
+type (
+	// Sweep varies one parameter over a base configuration.
+	Sweep = sweep.Sweep
+	// SweepPoint is one measured sweep sample.
+	SweepPoint = sweep.Point
+)
+
+// Studies returns the built-in parameter studies (timeout, activity,
+// alpha) keyed by name.
+func Studies(seed int64, numTasks int) map[string]Sweep { return sweep.Studies(seed, numTasks) }
+
+// Rule tables (the paper's Table 1 policy language).
+
+// RuleTable is a power-state selection policy table.
+type RuleTable = rules.Table
+
+// Table1 returns the paper's power-state selection policy.
+func Table1() *RuleTable { return rules.Table1() }
+
+// Table1DSL is the same policy in the natural-language rule form.
+const Table1DSL = rules.Table1DSL
+
+// ParseRules parses a policy script in the natural-language rule form.
+func ParseRules(script string) (*RuleTable, error) { return rules.Parse(script) }
+
+// Workload generation.
+type (
+	// WorkloadProfile parameterises a synthetic traffic generator.
+	WorkloadProfile = workload.Profile
+	// Sequence is a closed-loop workload (task, then idle gap).
+	Sequence = workload.Sequence
+	// ArrivalSequence is an open-loop workload (absolute request times).
+	ArrivalSequence = workload.ArrivalSequence
+)
+
+// HighActivity returns a busy workload profile (short idle gaps).
+func HighActivity(seed int64, numTasks int) WorkloadProfile {
+	return workload.HighActivity(seed, numTasks)
+}
+
+// LowActivity returns an idle-heavy workload profile.
+func LowActivity(seed int64, numTasks int) WorkloadProfile {
+	return workload.LowActivity(seed, numTasks)
+}
+
+// Measurement helpers.
+type (
+	// Ledger records per-task timings across a run.
+	Ledger = stats.Ledger
+	// TaskRecord is one executed task's ledger entry.
+	TaskRecord = stats.TaskRecord
+)
+
+// EnergySavingPct computes the paper's energy-saving metric (% vs the
+// baseline energy).
+func EnergySavingPct(baseJ, dpmJ float64) (float64, error) {
+	return stats.EnergySavingPct(baseJ, dpmJ)
+}
+
+// DelayOverheadPct computes the paper's delay-overhead metric from two
+// ledgers of the same workload.
+func DelayOverheadPct(base, dpm *Ledger) (float64, error) {
+	return stats.DelayOverheadPct(base, dpm)
+}

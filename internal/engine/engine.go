@@ -35,6 +35,10 @@ type Options struct {
 	// NoCache disables caching entirely (every job simulates), used by
 	// benchmarks that need cold runs. It takes precedence over Cache.
 	NoCache bool
+	// OnStart, when non-nil, observes every job as a worker picks it up.
+	// Calls are serialised with OnResult; the index is the job's plan
+	// position. Together they let a CLI stream live grid progress.
+	OnStart func(i int, job Job)
 	// OnResult, when non-nil, observes every finished job in completion
 	// order. Calls are serialised; the index is the job's plan position.
 	OnResult func(i int, jr JobResult)
@@ -70,6 +74,7 @@ type Stats struct {
 type Engine struct {
 	workers  int
 	cache    Cache
+	onStart  func(i int, job Job)
 	onResult func(i int, jr JobResult)
 	cbMu     sync.Mutex
 
@@ -88,7 +93,7 @@ func New(opts Options) *Engine {
 	} else if c == nil {
 		c = NewMemory()
 	}
-	return &Engine{workers: w, cache: c, onResult: opts.OnResult}
+	return &Engine{workers: w, cache: c, onStart: opts.OnStart, onResult: opts.OnResult}
 }
 
 // Workers returns the pool bound.
@@ -110,9 +115,9 @@ func (e *Engine) Stats() Stats {
 // the joined error of all failed jobs — including ctx.Err() if the context
 // ended the run early — is returned alongside.
 //
-// Cancellation is job-granular: in-flight simulations complete (the
-// discrete-event kernel is not interruptible mid-run), queued jobs are
-// abandoned with ctx.Err().
+// Cancellation is sample-granular: in-flight simulations poll ctx at every
+// sample tick and abort with ctx.Err(); queued jobs are abandoned with
+// ctx.Err() without starting.
 func (e *Engine) Run(ctx context.Context, plan Plan) ([]JobResult, error) {
 	n := len(plan.Jobs)
 	results := make([]JobResult, n)
@@ -132,6 +137,11 @@ func (e *Engine) Run(ctx context.Context, plan Plan) ([]JobResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if e.onStart != nil {
+					e.cbMu.Lock()
+					e.onStart(i, plan.Jobs[i])
+					e.cbMu.Unlock()
+				}
 				jr := e.runJob(ctx, plan.Jobs[i])
 				results[i] = jr
 				if e.onResult != nil {
@@ -175,16 +185,18 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 	}
 	jr := JobResult{Job: job}
 	var err error
-	jr.Key, err = Fingerprint(job.Config)
+	jr.Key, err = jobKey(job)
 	if err != nil {
 		e.errs.Add(1)
 		jr.Err = err
 		return jr
 	}
-	// Trace writers are excluded from the fingerprint (they don't affect
-	// the Result), so a cache hit would silently skip the requested VCD/CSV
-	// output. Jobs with writers always simulate.
-	cacheable := e.cache != nil && job.Config.TraceVCD == nil && job.Config.TraceCSV == nil
+	// Observers are pure instrumentation (an observed run's Result is
+	// bit-identical to a bare run), so they never block caching — though a
+	// cache-served job does not simulate and its observers see nothing.
+	// Stop conditions are part of the key; only Volatile (host-timing)
+	// conditions make a job uncacheable.
+	cacheable := e.cache != nil && !job.Options.Volatile()
 	if cacheable {
 		if r, ok := e.cache.Get(jr.Key); ok {
 			e.hits.Add(1)
@@ -194,7 +206,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 		e.misses.Add(1)
 	}
 	e.runs.Add(1)
-	jr.Result, jr.Err = soc.Run(job.Config)
+	jr.Result, jr.Err = soc.RunWith(ctx, job.Config, job.Options)
 	if jr.Err != nil {
 		e.errs.Add(1)
 		return jr

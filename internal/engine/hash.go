@@ -15,14 +15,18 @@ import (
 // Bump it whenever soc.Config grows a result-affecting field, or when
 // soc.Result grows a field (stale disk entries would otherwise deserialise
 // with the zero value and masquerade as computed results).
-const fingerprintVersion = "godpm-config-v2"
+//
+// v3: soc.Config lost its TraceVCD/TraceCSV writer fields (instrumentation
+// moved to observers, which never affect the Result) and soc.Result gained
+// StopReason.
+const fingerprintVersion = "godpm-config-v3"
 
 // Fingerprint returns the canonical content hash of a simulation
 // configuration, usable as a cache key: two configs hash equally iff they
 // describe the same simulation. The config is normalized first, so a field
 // left zero and the same field set to its documented default are the same
-// key. Output-only fields (TraceVCD, TraceCSV) are excluded — they do not
-// affect the Result.
+// key. Config is pure value data — every field affects the Result, so all
+// of them are hashed.
 func Fingerprint(cfg soc.Config) (string, error) {
 	norm, err := cfg.Normalized()
 	if err != nil {
@@ -31,6 +35,26 @@ func Fingerprint(cfg soc.Config) (string, error) {
 	h := sha256.New()
 	io.WriteString(h, fingerprintVersion)
 	writeConfig(h, &norm)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// jobKey is the cache key of one job: the config fingerprint, extended
+// with the stop conditions' Reason strings when the job carries any —
+// stopping early changes the Result, so `A1` and `A1 until battery death`
+// must never share a cache slot. Observers are deliberately excluded: they
+// do not affect the Result.
+func jobKey(job Job) (string, error) {
+	key, err := Fingerprint(job.Config)
+	if err != nil || len(job.Options.StopWhen) == 0 {
+		return key, err
+	}
+	h := sha256.New()
+	io.WriteString(h, fingerprintVersion)
+	field(h, "base", key)
+	field(h, "nstops", len(job.Options.StopWhen))
+	for _, c := range job.Options.StopWhen {
+		field(h, "stop", c.Reason)
+	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
@@ -100,9 +124,10 @@ func field(w io.Writer, name string, v any) {
 // determinism tests are phrased in terms of this digest.
 func ResultDigest(r *soc.Result) string {
 	h := sha256.New()
-	io.WriteString(h, "godpm-result-v2")
+	io.WriteString(h, "godpm-result-v3")
 	field(h, "energy", r.EnergyJ)
 	field(h, "deltas", r.Deltas)
+	field(h, "stopreason", r.StopReason)
 	writeFloatMap(h, "energyby", r.EnergyByIP)
 	field(h, "busenergy", r.BusEnergyJ)
 	field(h, "avgtemp", r.AvgTempC)

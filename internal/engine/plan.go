@@ -12,6 +12,13 @@ import (
 type Job struct {
 	ID     string
 	Config soc.Config
+	// Options are the run-time options the job simulates with. Observers
+	// are pure instrumentation and do not affect caching — but a
+	// cache-served job never simulates, so its observers see nothing.
+	// StopWhen conditions change the Result; their Reason strings are
+	// folded into the cache key, and jobs with Volatile (host-timing)
+	// conditions are never cached.
+	Options soc.RunOptions
 }
 
 // Plan is an ordered list of jobs. Order is significant: the engine's
@@ -25,6 +32,13 @@ type Plan struct {
 // Add appends one job and returns the plan for chaining.
 func (p *Plan) Add(id string, cfg soc.Config) *Plan {
 	p.Jobs = append(p.Jobs, Job{ID: id, Config: cfg})
+	return p
+}
+
+// AddWith appends one job carrying run-time options (observers and/or stop
+// conditions) and returns the plan for chaining.
+func (p *Plan) AddWith(id string, cfg soc.Config, opts soc.RunOptions) *Plan {
+	p.Jobs = append(p.Jobs, Job{ID: id, Config: cfg, Options: opts})
 	return p
 }
 

@@ -37,7 +37,7 @@ type Tuning struct {
 	Horizon sim.Time
 }
 
-// DefaultTuning returns the values used in EXPERIMENTS.md.
+// DefaultTuning returns the experiments' default workload knobs.
 func DefaultTuning() Tuning {
 	return Tuning{NumTasks: 120, Seed: 1, BusWords: 32, Horizon: 300 * sim.Sec}
 }
@@ -53,7 +53,7 @@ func batteryLowShared() soc.BatteryConfig {
 	// Sized so that (a) the full-SoC load dips the sensed charge below the
 	// Low/Medium boundary (P/(k·capacity) > boundary−initial), while (b)
 	// the whole run's energy leaves the recovery ceiling above it
-	// (E_total/capacity < initial−boundary). See DESIGN.md.
+	// (E_total/capacity < initial−boundary).
 	return soc.BatteryConfig{
 		Kind: "kibam", CapacityJ: 1600, InitialSoC: 0.303,
 		KiBaMC: 0.10, KiBaMK: 0.05,

@@ -90,7 +90,7 @@ type AblationVariant struct {
 	Config soc.Config
 }
 
-// Ablations returns the studies DESIGN.md calls out, built over the given
+// Ablations returns the design-choice studies, built over the given
 // tuning:
 //
 //   - "predictor": EWMA vs last-value vs perfect vs adaptive vs quantile

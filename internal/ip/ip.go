@@ -53,6 +53,10 @@ type Config struct {
 	Bus         *bus.Bus
 	BusWords    int
 	BusPriority int
+	// OnTask, when non-nil, observes every completed task right after its
+	// ledger record is written. The record is passed by value so the nil
+	// case costs nothing (no escape to the heap on the execute path).
+	OnTask func(rec stats.TaskRecord)
 }
 
 // IP is the functional block component.
@@ -165,14 +169,18 @@ func (b *IP) executeTask(c *sim.Ctx, t task.Task, request sim.Time) {
 	b.executing = false
 	b.cfg.Meter.SetPower(b.cfg.PSM.StatePower())
 
-	b.cfg.Ledger.Add(stats.TaskRecord{
+	rec := stats.TaskRecord{
 		IP:      b.cfg.Name,
 		TaskID:  t.ID,
 		Request: request,
 		Start:   start,
 		Done:    c.Now(),
 		State:   b.cfg.PSM.State().String(),
-	})
+	}
+	b.cfg.Ledger.Add(rec)
+	if b.cfg.OnTask != nil {
+		b.cfg.OnTask(rec)
+	}
 	b.tasksDone++
 }
 

@@ -1,6 +1,6 @@
 // Package report renders experiment results as Markdown: the Table 2
 // paper-vs-measured comparison, per-scenario detail sections and the shape
-// checks EXPERIMENTS.md documents — so the whole comparison document can be
+// checks the README documents — so the whole comparison document can be
 // regenerated mechanically (cmd/dpmreport).
 package report
 

@@ -8,7 +8,7 @@
 // ("if the priority is high and the battery is empty then the power state
 // is ON4"); a test proves the two encodings agree on the entire input
 // space. A coverage analyser reports unmatched input combinations and
-// shadowed (dead) rules, which Table 1 taken literally has — see DESIGN.md.
+// shadowed (dead) rules, which Table 1 taken literally has.
 package rules
 
 import (

@@ -44,6 +44,15 @@ type accountant struct {
 	lastEs []float64          // per-IP energy at the previous sample
 	perIP  []float64          // per-IP power scratch for plant.step
 	lastAt sim.Time           // time of the previous sample
+
+	// Early-stop machinery (RunOptions.StopWhen and context cancellation).
+	// All of it is inert — one branch per tick — when unused, which keeps
+	// the bare-run tick allocation-free and bit-identical.
+	stops      []StopCondition
+	done       <-chan struct{} // ctx.Done(); nil for background contexts
+	probe      Probe           // reused every evaluation; no allocation
+	stopReason string          // Reason of the condition that fired
+	canceled   bool            // ctx was cancelled mid-run
 }
 
 // newAccountant wires an accountant for the assembled SoC. It seeds the
@@ -71,9 +80,44 @@ func (a *accountant) start() {
 	a.tick = a.k.NewEvent("accountant.tick")
 	a.k.Method("accountant", func() {
 		a.sample()
+		a.checkStop()
 		a.tick.Notify(a.interval)
 	}).Sensitive(a.tick).DontInitialize()
 	a.tick.Notify(a.interval)
+}
+
+// checkStop polls the context and evaluates the stop conditions against the
+// state integrated by the sample that just ran. It fires at most once; the
+// kernel then halts at the end of the current delta cycle. Must not
+// allocate when no conditions or context are registered.
+func (a *accountant) checkStop() {
+	if a.stopReason != "" || a.canceled {
+		return
+	}
+	if a.done != nil {
+		select {
+		case <-a.done:
+			a.canceled = true
+			a.k.Stop()
+			return
+		default:
+		}
+	}
+	if len(a.stops) == 0 {
+		return
+	}
+	a.probe.Now = a.k.Now()
+	a.probe.TempC = a.plant.tempC()
+	a.probe.SoC = a.pack.SoC()
+	a.probe.Battery = a.pack.Status()
+	a.probe.EnergyJ = a.lastE
+	for i := range a.stops {
+		if a.stops[i].Eval(&a.probe) {
+			a.stopReason = a.stops[i].Reason
+			a.k.Stop()
+			return
+		}
+	}
 }
 
 // totalEnergy sums the bus meter and every IP meter up to now.

@@ -1,0 +1,209 @@
+package soc
+
+import (
+	"godpm/internal/acpi"
+	"godpm/internal/battery"
+	"godpm/internal/sim"
+	"godpm/internal/stats"
+	"godpm/internal/thermal"
+)
+
+// Observer receives a streaming view of one simulation run: PSM state
+// changes, task completions, periodic samples of temperature/power/state of
+// charge, battery and thermal class transitions, and the final Result.
+// Attach observers through RunOptions.Observers; they are pure
+// instrumentation — a run with observers attached produces a Result
+// bit-identical to a bare run of the same Config, which is what keeps
+// observed jobs cacheable in the batch engine.
+//
+// Implementations should embed NopObserver and override the callbacks they
+// care about. Callbacks are invoked on the kernel's scheduling goroutine in
+// simulation order; they must not block, and arguments marked as reused
+// (RunInfo, Sample, TaskRecord pointers) are only valid for the duration of
+// the call.
+type Observer interface {
+	// RunStart fires once before the kernel starts, with the normalized
+	// configuration and the t=0 values of every traced quantity.
+	RunStart(info *RunInfo)
+	// PSMState fires when IP ip's power state machine lands in state s
+	// (ip indexes RunInfo.IPs).
+	PSMState(t sim.Time, ip int, s acpi.State)
+	// PSMTransition fires when IP ip's transition-in-progress flag flips.
+	PSMTransition(t sim.Time, ip int, active bool)
+	// TaskDone fires after each task execution with its ledger record.
+	TaskDone(t sim.Time, rec *stats.TaskRecord)
+	// Sample fires every Config.SampleInterval with the sampled scalars.
+	Sample(t sim.Time, s *Sample)
+	// BatteryStatus fires on battery class transitions.
+	BatteryStatus(t sim.Time, st battery.Status)
+	// ThermalClass fires on transitions of the SoC-level temperature class
+	// (the die sensor, or the hottest node under PerIPThermal).
+	ThermalClass(t sim.Time, c thermal.Class)
+	// RunEnd fires once after the kernel stops, with the completed Result.
+	RunEnd(res *Result)
+	// Err reports the observer's first internal failure (e.g. a trace-file
+	// write error); a non-nil value fails the run after completion.
+	Err() error
+}
+
+// RunInfo describes the run an observer is attached to. The pointer is
+// only valid during the RunStart call; copy fields to retain them.
+type RunInfo struct {
+	// Config is the normalized configuration; treat it as read-only.
+	Config *Config
+	// IPs are the IP names, index-aligned with Config.IPs and with the ip
+	// argument of PSMState/PSMTransition and Sample.PowerW.
+	IPs []string
+	// InitialStates are the t=0 PSM states (transitioning starts false).
+	InitialStates []acpi.State
+	// InitialBattery and InitialThermal are the t=0 classes.
+	InitialBattery battery.Status
+	InitialThermal thermal.Class
+	// BatterySignal and ThermalSignal are the kernel names of the traced
+	// class signals ("battery.status"; "die.class", or "die.hottest_class"
+	// under PerIPThermal) — waveform writers label variables with them.
+	BatterySignal string
+	ThermalSignal string
+}
+
+// Sample is one periodic measurement. The struct (and its PowerW slice)
+// is reused between callbacks; copy values to retain them.
+type Sample struct {
+	// TempC is the die temperature (hottest node under PerIPThermal).
+	TempC float64
+	// SoC is the battery state of charge in [0,1].
+	SoC float64
+	// PowerW is the instantaneous per-IP power, index-aligned with
+	// RunInfo.IPs.
+	PowerW []float64
+}
+
+// NopObserver implements every Observer callback as a no-op. Embed it to
+// implement only the callbacks an observer cares about.
+type NopObserver struct{}
+
+// RunStart implements Observer.
+func (NopObserver) RunStart(*RunInfo) {}
+
+// PSMState implements Observer.
+func (NopObserver) PSMState(sim.Time, int, acpi.State) {}
+
+// PSMTransition implements Observer.
+func (NopObserver) PSMTransition(sim.Time, int, bool) {}
+
+// TaskDone implements Observer.
+func (NopObserver) TaskDone(sim.Time, *stats.TaskRecord) {}
+
+// Sample implements Observer.
+func (NopObserver) Sample(sim.Time, *Sample) {}
+
+// BatteryStatus implements Observer.
+func (NopObserver) BatteryStatus(sim.Time, battery.Status) {}
+
+// ThermalClass implements Observer.
+func (NopObserver) ThermalClass(sim.Time, thermal.Class) {}
+
+// RunEnd implements Observer.
+func (NopObserver) RunEnd(*Result) {}
+
+// Err implements Observer.
+func (NopObserver) Err() error { return nil }
+
+// dispatcher fans one run's instrumentation events out to the registered
+// observers. It exists only when RunOptions.Observers is non-empty, so an
+// unobserved run carries no dispatch code on any hot path.
+type dispatcher struct {
+	obs     []Observer
+	meters  []*stats.EnergyMeter
+	plant   *thermalPlant
+	pack    *battery.Pack
+	scratch Sample // reused for every Sample callback
+}
+
+// attach hooks the dispatcher onto the assembled SoC's signals. Hook
+// registration order (per IP: state then transitioning; then battery; then
+// thermal) fixes the event order observers see within one update phase,
+// mirroring the pre-observer VCD attachment order.
+func (d *dispatcher) attach(psms []*acpi.PSM, pack *battery.Pack, plant *thermalPlant) {
+	d.pack, d.plant = pack, plant
+	for i := range psms {
+		i := i
+		psms[i].StateSignal().OnChange(func(t sim.Time, s acpi.State) {
+			for _, o := range d.obs {
+				o.PSMState(t, i, s)
+			}
+		})
+		psms[i].Transitioning().OnChange(func(t sim.Time, active bool) {
+			for _, o := range d.obs {
+				o.PSMTransition(t, i, active)
+			}
+		})
+	}
+	pack.StatusSignal().OnChange(func(t sim.Time, st battery.Status) {
+		for _, o := range d.obs {
+			o.BatteryStatus(t, st)
+		}
+	})
+	plant.classSignal().OnChange(func(t sim.Time, c thermal.Class) {
+		for _, o := range d.obs {
+			o.ThermalClass(t, c)
+		}
+	})
+}
+
+// runStart forwards the run descriptor to every observer.
+func (d *dispatcher) runStart(info *RunInfo) {
+	for _, o := range d.obs {
+		o.RunStart(info)
+	}
+}
+
+// taskDone forwards one completed task (rec.Done is the completion time).
+func (d *dispatcher) taskDone(rec stats.TaskRecord) {
+	for _, o := range d.obs {
+		o.TaskDone(rec.Done, &rec)
+	}
+}
+
+// startSampler registers the periodic sampling process. It mirrors the old
+// CSV sampler exactly: its own tick event, first sample at t = interval,
+// values read before the accountant integrates the elapsed interval (the
+// sampler's tick is notified first, so it runs first at each instant).
+func (d *dispatcher) startSampler(k *sim.Kernel, interval sim.Time) {
+	d.scratch.PowerW = make([]float64, len(d.meters))
+	tick := k.NewEvent("observer.tick")
+	k.Method("observer.sampler", func() {
+		d.sampleNow(k.Now())
+		tick.Notify(interval)
+	}).Sensitive(tick).DontInitialize()
+	tick.Notify(interval)
+}
+
+// sampleNow reads the probes into the scratch sample and fans it out.
+func (d *dispatcher) sampleNow(t sim.Time) {
+	d.scratch.TempC = d.plant.tempC()
+	d.scratch.SoC = d.pack.SoC()
+	for i, m := range d.meters {
+		d.scratch.PowerW[i] = m.Power()
+	}
+	for _, o := range d.obs {
+		o.Sample(t, &d.scratch)
+	}
+}
+
+// runEnd forwards the completed Result.
+func (d *dispatcher) runEnd(res *Result) {
+	for _, o := range d.obs {
+		o.RunEnd(res)
+	}
+}
+
+// err returns the first observer error.
+func (d *dispatcher) err() error {
+	for _, o := range d.obs {
+		if err := o.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

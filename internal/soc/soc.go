@@ -6,8 +6,8 @@
 package soc
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"time"
 
 	"godpm/internal/acpi"
@@ -21,7 +21,6 @@ import (
 	"godpm/internal/sim"
 	"godpm/internal/stats"
 	"godpm/internal/thermal"
-	"godpm/internal/trace"
 	"godpm/internal/workload"
 )
 
@@ -200,13 +199,6 @@ type Config struct {
 	// Greedy policy parameter.
 	GreedySleepState acpi.State
 
-	// TraceVCD, when non-nil, receives a VCD waveform of the PSM states,
-	// battery class and temperature class (viewable in GTKWave).
-	TraceVCD io.Writer
-	// TraceCSV, when non-nil, receives sampled scalars (temperature, state
-	// of charge, per-IP power) at every accountant tick.
-	TraceCSV io.Writer
-
 	// SampleInterval is the battery/thermal integration step
 	// (default 100 µs).
 	SampleInterval sim.Time
@@ -235,6 +227,10 @@ type Result struct {
 	Duration  sim.Time
 	Completed bool
 	TasksDone int
+
+	// StopReason is the Reason of the RunOptions.StopWhen condition that
+	// ended the run early ("" when the run completed or hit the horizon).
+	StopReason string
 
 	// Deltas is the kernel's delta-cycle count — a scheduling checksum:
 	// two runs of the same configuration must agree on it exactly, which
@@ -393,7 +389,7 @@ func (c *Config) fillDefaults() error {
 }
 
 // Run builds the SoC and simulates it to completion (all sequences done) or
-// to the horizon.
+// to the horizon. It is RunWith with a background context and no options.
 //
 // Run is safe for concurrent use: every call builds its own kernel and
 // components, the configuration is normalized into a private copy before
@@ -402,6 +398,26 @@ func (c *Config) fillDefaults() error {
 // its IPs, Sequences and Profile pointers) across simultaneous Runs is
 // fine as long as callers do not mutate it mid-run.
 func Run(cfg Config) (*Result, error) {
+	return RunWith(context.Background(), cfg, RunOptions{})
+}
+
+// RunWith builds the SoC and simulates it like Run, with run-time options:
+// opts.Observers stream instrumentation callbacks (see Observer) and
+// opts.StopWhen ends the run early on battery, thermal, energy or
+// wall-clock conditions. Options are pure run-time concerns — the Result of
+// an observed run is bit-identical to a bare Run of the same Config (stop
+// conditions excepted, since they genuinely shorten the run).
+//
+// Cancellation is sample-granular: ctx is polled at every SampleInterval
+// tick, and a cancelled run returns ctx.Err().
+func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*Result, error) {
+	// A run shorter than one SampleInterval never reaches the in-run
+	// cancellation poll, so honour an already-ended context up front.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	cfg, err := cfg.Normalized()
 	if err != nil {
 		return nil, err
@@ -438,6 +454,11 @@ func Run(cfg Config) (*Result, error) {
 		g = gem.New(k, "gem", cfg.GEM, pack, plant.gemView())
 	}
 
+	var disp *dispatcher
+	if len(opts.Observers) > 0 {
+		disp = &dispatcher{obs: opts.Observers, meters: meters}
+	}
+
 	for i, spec := range cfg.IPs {
 		meters[i] = stats.NewEnergyMeter(k, spec.Name)
 		psms[i] = acpi.NewPSM(k, spec.Name, spec.Profile, spec.InitialState)
@@ -468,7 +489,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("soc: unknown policy %q", cfg.Policy)
 		}
 
-		ips[i] = ip.New(k, ip.Config{
+		ipCfg := ip.Config{
 			Name:        spec.Name,
 			Profile:     spec.Profile,
 			Sequence:    spec.Sequence,
@@ -480,32 +501,38 @@ func Run(cfg Config) (*Result, error) {
 			Bus:         theBus,
 			BusWords:    cfg.BusWords,
 			BusPriority: spec.StaticPriority,
-		})
+		}
+		if disp != nil {
+			ipCfg.OnTask = disp.taskDone
+		}
+		ips[i] = ip.New(k, ipCfg)
 	}
 
-	// Optional tracing.
-	var vcd *trace.VCD
-	if cfg.TraceVCD != nil {
-		vcd = trace.NewVCD(cfg.TraceVCD, "soc", sim.Ns)
+	// Instrumentation: hook the dispatcher onto the assembled components
+	// and announce the run. The sampler is registered here — before the
+	// completion watcher and the accountant — so its tick runs first at
+	// every sample instant, exactly where the old CSV sampler sat.
+	if disp != nil {
+		disp.attach(psms, pack, plant)
+		initialStates := make([]acpi.State, len(psms))
 		for i := range psms {
-			trace.AttachStringer(vcd, psms[i].StateSignal(), acpi.State.String)
-			vcd.AttachBool(psms[i].Transitioning())
+			initialStates[i] = psms[i].StateSignal().Read()
 		}
-		trace.AttachStringer(vcd, pack.StatusSignal(), battery.Status.String)
-		trace.AttachStringer(vcd, plant.classSignal(), thermal.Class.String)
-		if err := vcd.WriteHeader(); err != nil {
-			return nil, err
+		disp.runStart(&RunInfo{
+			Config:         &cfg,
+			IPs:            ipNames,
+			InitialStates:  initialStates,
+			InitialBattery: pack.Status(),
+			InitialThermal: plant.classSignal().Read(),
+			BatterySignal:  pack.StatusSignal().Name(),
+			ThermalSignal:  plant.classSignal().Name(),
+		})
+		// Fail fast on setup errors (e.g. a trace header that cannot be
+		// written) instead of simulating to completion for nothing.
+		if err := disp.err(); err != nil {
+			return nil, fmt.Errorf("soc: observer: %w", err)
 		}
-	}
-	var csv *trace.CSV
-	if cfg.TraceCSV != nil {
-		csv = trace.NewCSV(cfg.TraceCSV, k, cfg.SampleInterval)
-		csv.Probe("temp_c", plant.tempC)
-		csv.Probe("soc", pack.SoC)
-		for i, m := range meters {
-			csv.Probe(cfg.IPs[i].Name+"_w", m.Power)
-		}
-		csv.Start()
+		disp.startSampler(k, cfg.SampleInterval)
 	}
 
 	// Completion watcher: stop the kernel when every IP finished.
@@ -530,18 +557,20 @@ func Run(cfg Config) (*Result, error) {
 		g.SetBusProbe(theBus.Occupancy)
 	}
 	acct := newAccountant(k, &cfg, pack, plant, meters, &busEnergyMeter, g)
+	acct.stops = opts.StopWhen
+	if ctx != nil {
+		acct.done = ctx.Done()
+	}
 	acct.start()
 
 	wallStart := time.Now()
+	acct.probe.wallStart = wallStart
 	if err := k.Run(cfg.Horizon); err != nil {
 		return nil, err
 	}
 	wall := time.Since(wallStart).Seconds()
-	if vcd != nil && vcd.Err() != nil {
-		return nil, fmt.Errorf("soc: vcd trace: %w", vcd.Err())
-	}
-	if csv != nil && csv.Err() != nil {
-		return nil, fmt.Errorf("soc: csv trace: %w", csv.Err())
+	if acct.canceled {
+		return nil, ctx.Err()
 	}
 
 	// Final partial sample so energy/temperature cover the full duration.
@@ -553,6 +582,7 @@ func Run(cfg Config) (*Result, error) {
 		Duration:   k.Now(),
 		AmbientC:   plant.ambient,
 		BusEnergyJ: busEnergyMeter,
+		StopReason: acct.stopReason,
 	}
 	for i, m := range meters {
 		e := m.EnergyJ()
@@ -584,6 +614,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if theBus != nil {
 		res.BusOccupancy = theBus.Occupancy()
+	}
+	if disp != nil {
+		disp.runEnd(res)
+		if err := disp.err(); err != nil {
+			return nil, fmt.Errorf("soc: observer: %w", err)
+		}
 	}
 	return res, nil
 }

@@ -188,62 +188,3 @@ var errNoDigits = &parseError{}
 type parseError struct{}
 
 func (*parseError) Error() string { return "no digits" }
-
-func TestCSVSampling(t *testing.T) {
-	k := sim.NewKernel()
-	var sb strings.Builder
-	c := NewCSV(&sb, k, 10*sim.Ns)
-	val := 0.0
-	c.Probe("power_w", func() float64 { return val })
-	c.Probe("temp_c", func() float64 { return 2 * val })
-	c.Start()
-	e := k.NewEvent("tick")
-	i := 0
-	k.Method("d", func() {
-		i++
-		val = float64(i)
-		if i < 10 {
-			e.Notify(10 * sim.Ns)
-		}
-	}).Sensitive(e)
-	if err := k.Run(100 * sim.Ns); err != nil {
-		t.Fatal(err)
-	}
-	out := sb.String()
-	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if lines[0] != "time_s,power_w,temp_c" {
-		t.Fatalf("header = %q", lines[0])
-	}
-	if c.Rows() < 9 {
-		t.Fatalf("Rows() = %d, want >= 9\n%s", c.Rows(), out)
-	}
-	if !strings.Contains(out, ",2,4") {
-		t.Errorf("expected sample with probes 2 and 4:\n%s", out)
-	}
-	if c.Err() != nil {
-		t.Fatal(c.Err())
-	}
-}
-
-func TestCSVProbeAfterStartPanics(t *testing.T) {
-	k := sim.NewKernel()
-	var sb strings.Builder
-	c := NewCSV(&sb, k, sim.Ns)
-	c.Start()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	c.Probe("late", func() float64 { return 0 })
-}
-
-func TestCSVBadIntervalPanics(t *testing.T) {
-	k := sim.NewKernel()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewCSV(&strings.Builder{}, k, 0)
-}

@@ -1,0 +1,71 @@
+// Golden tests pinning the observer-based tracers to the exact bytes the
+// pre-observer Config.TraceVCD/TraceCSV writer fields produced: the API
+// moved, the files must not. testdata/A1.{vcd,csv} and testdata/B.vcd were
+// captured from cmd/dpmtrace before the refactor; scenario B's CSV is 1.4 MB
+// and is pinned by hash instead of by committed bytes.
+package godpm_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"testing"
+
+	"godpm"
+)
+
+// traceScenario runs one scenario exactly as cmd/dpmtrace does (default
+// tuning, 30 tasks per IP) with both tracing observers attached.
+func traceScenario(t *testing.T, id string) (vcd, csv []byte) {
+	t.Helper()
+	tuning := godpm.DefaultTuning()
+	tuning.NumTasks = 30
+	s, err := godpm.ScenarioByID(id, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vcdBuf, csvBuf bytes.Buffer
+	_, err = godpm.RunWith(context.Background(), s.Config, godpm.RunOptions{
+		Observers: []godpm.Observer{
+			godpm.NewVCDObserver(&vcdBuf),
+			godpm.NewCSVObserver(&csvBuf),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vcdBuf.Bytes(), csvBuf.Bytes()
+}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTraceGoldenA1(t *testing.T) {
+	vcd, csv := traceScenario(t, "A1")
+	if want := readGolden(t, "A1.vcd"); !bytes.Equal(vcd, want) {
+		t.Errorf("A1 VCD diverged from pre-observer output (%d vs %d bytes)", len(vcd), len(want))
+	}
+	if want := readGolden(t, "A1.csv"); !bytes.Equal(csv, want) {
+		t.Errorf("A1 CSV diverged from pre-observer output (%d vs %d bytes)", len(csv), len(want))
+	}
+}
+
+func TestTraceGoldenB(t *testing.T) {
+	vcd, csv := traceScenario(t, "B") // multi-IP: several PSM variable pairs
+	if want := readGolden(t, "B.vcd"); !bytes.Equal(vcd, want) {
+		t.Errorf("B VCD diverged from pre-observer output (%d vs %d bytes)", len(vcd), len(want))
+	}
+	const wantCSV = "7f5cb32ae55e242b32f910115886db068eabaa2656bc39f4bce0345040a91cf8"
+	sum := sha256.Sum256(csv)
+	if got := hex.EncodeToString(sum[:]); got != wantCSV {
+		t.Errorf("B CSV hash = %s, want %s (%d bytes)", got, wantCSV, len(csv))
+	}
+}
