@@ -8,8 +8,11 @@
 // This root package is the public façade: it re-exports everything needed
 // to assemble and run a DPM-managed SoC, watch it through streaming
 // Observers, cut runs short with StopCondition, regenerate the paper's
-// Table 2 scenarios, and execute grids on the concurrent cached batch
-// engine:
+// Table 2 scenarios, generate seeded stochastic workloads (bursty, MMPP,
+// periodic-with-jitter, heavy-tailed, CSV trace replay — see GenSpec and
+// WorkloadSeed), execute grids on the concurrent cached batch engine, and
+// rank policies across generated scenarios with RunTournament (the
+// cmd/dpmarena CLI):
 //
 //	cfg := godpm.Config{
 //	    IPs:    []godpm.IPSpec{{Name: "cpu", Sequence: seq}},
@@ -20,9 +23,11 @@
 //	    StopWhen:  []godpm.StopCondition{godpm.StopOnBatteryEmpty()},
 //	})
 //
-// See README.md for the package map, the experiment harness and the
-// migration notes from the pre-2.0 Config.TraceVCD/TraceCSV fields. The
-// implementation packages remain under internal/ (sim, acpi, lem, gem,
-// battery, thermal, rules, workload, bus, soc, engine, experiments) and
-// runnable examples under examples/.
+// See README.md for the package map, the scenario catalog, the experiment
+// harness and the migration notes from the pre-2.0 Config.TraceVCD/
+// TraceCSV fields. The implementation packages remain under internal/
+// (sim, acpi, lem, gem, battery, thermal, rules, workload, bus, soc,
+// engine, experiments), commands under cmd/ (dpmsim, dpmbatch, dpmarena,
+// dpmtable, dpmsweep, dpmtrace, dpmreport, dpmbench) and runnable
+// examples under examples/.
 package godpm

@@ -20,7 +20,7 @@ import (
 // RunWith/RunOptions.
 const Version = "2.0.0"
 
-// Simulated time. One Time unit is a nanosecond; use the unit constants to
+// Simulated time. One Time unit is a picosecond; use the unit constants to
 // build durations (Horizon: 60 * godpm.Sec).
 type Time = sim.Time
 
@@ -247,6 +247,22 @@ type (
 	Sequence = workload.Sequence
 	// ArrivalSequence is an open-loop workload (absolute request times).
 	ArrivalSequence = workload.ArrivalSequence
+	// WorkloadSeed is the splittable deterministic PRNG seed driving the
+	// stochastic generators; split it per scenario and per IP.
+	WorkloadSeed = workload.Seed
+	// GenSpec describes a workload generator as pure value data. Placed
+	// on IPSpec.Gen it is materialized during normalization and folds
+	// into the engine's cache key.
+	GenSpec = workload.Spec
+	// BurstProfile generates closed-loop geometric ON/OFF bursts.
+	BurstProfile = workload.BurstProfile
+	// MMPPProfile generates open-loop Markov-modulated (ON/OFF) arrivals.
+	MMPPProfile = workload.MMPPProfile
+	// PeriodicProfile generates open-loop periodic arrivals with jitter.
+	PeriodicProfile = workload.PeriodicProfile
+	// HeavyTailProfile generates closed-loop Pareto (heavy-tailed) idle
+	// gaps.
+	HeavyTailProfile = workload.HeavyTailProfile
 )
 
 // HighActivity returns a busy workload profile (short idle gaps).
@@ -258,6 +274,93 @@ func HighActivity(seed int64, numTasks int) WorkloadProfile {
 func LowActivity(seed int64, numTasks int) WorkloadProfile {
 	return workload.LowActivity(seed, numTasks)
 }
+
+// NewSeed wraps a raw value as a splittable workload seed.
+func NewSeed(n uint64) WorkloadSeed { return workload.NewSeed(n) }
+
+// DefaultBurst returns the bursty closed-loop profile preset.
+func DefaultBurst(seed int64, numTasks int) BurstProfile {
+	return workload.DefaultBurst(seed, numTasks)
+}
+
+// DefaultMMPP returns the ON/OFF Markov-modulated arrival preset.
+func DefaultMMPP(seed WorkloadSeed, numTasks int) MMPPProfile {
+	return workload.DefaultMMPP(seed, numTasks)
+}
+
+// DefaultPeriodic returns the periodic-with-jitter arrival preset.
+func DefaultPeriodic(seed WorkloadSeed, numTasks int) PeriodicProfile {
+	return workload.DefaultPeriodic(seed, numTasks)
+}
+
+// DefaultHeavyTail returns the Pareto idle-gap preset.
+func DefaultHeavyTail(seed WorkloadSeed, numTasks int) HeavyTailProfile {
+	return workload.DefaultHeavyTail(seed, numTasks)
+}
+
+// Generator spec constructors for IPSpec.Gen.
+var (
+	// ClosedGen wraps a WorkloadProfile as a generator spec.
+	ClosedGen = workload.ClosedSpec
+	// BurstGen wraps a BurstProfile as a generator spec.
+	BurstGen = workload.BurstSpec
+	// MMPPGen wraps an MMPPProfile as a generator spec.
+	MMPPGen = workload.MMPPSpec
+	// PeriodicGen wraps a PeriodicProfile as a generator spec.
+	PeriodicGen = workload.PeriodicSpec
+	// HeavyTailGen wraps a HeavyTailProfile as a generator spec.
+	HeavyTailGen = workload.HeavyTailSpec
+	// TraceGen wraps a literal sequence (e.g. from ImportWorkloadCSV) as
+	// a replay spec.
+	TraceGen = workload.TraceSpec
+)
+
+// ExportWorkloadCSV writes a sequence as CSV for later replay.
+func ExportWorkloadCSV(w io.Writer, s Sequence) error { return workload.ExportCSV(w, s) }
+
+// ImportWorkloadCSV reads a sequence written by ExportWorkloadCSV.
+func ImportWorkloadCSV(r io.Reader) (Sequence, error) { return workload.ImportCSV(r) }
+
+// Policy tournaments: cross policies × generated scenarios × seeds on the
+// batch engine and rank the aggregate leaderboard.
+type (
+	// Tournament crosses Policies × Scenarios × Seeds.
+	Tournament = engine.Tournament
+	// TournamentScenario is one named configuration template.
+	TournamentScenario = engine.NamedConfig
+	// TournamentPolicy is one named entrant transformation.
+	TournamentPolicy = engine.PolicyVariant
+	// TournamentResult carries cells, the ranked leaderboard and engine
+	// counters.
+	TournamentResult = engine.TournamentResult
+	// TournamentCell is one (scenario, policy) aggregate over seeds.
+	TournamentCell = engine.Cell
+	// Standing is one ranked leaderboard row.
+	Standing = engine.Standing
+	// Summary is a replicate aggregate: mean, stddev, 95% CI, extremes.
+	Summary = stats.Summary
+)
+
+// RunTournament executes the tournament on the engine and aggregates the
+// ranked leaderboard.
+func RunTournament(ctx context.Context, eng *Engine, t Tournament) (*TournamentResult, error) {
+	return engine.RunTournament(ctx, eng, t)
+}
+
+// StandardPolicies returns the built-in policy lineup (dpm, alwayson,
+// timeout, greedy, oracle) as tournament entrants.
+func StandardPolicies() []TournamentPolicy { return engine.StandardPolicies() }
+
+// ArenaScenarios returns the built-in generated-scenario catalog (steady,
+// bursty, mmpp, periodic, heavytail), numTasks tasks each.
+func ArenaScenarios(numTasks int) []TournamentScenario { return engine.ArenaScenarios(numTasks) }
+
+// Summarize aggregates replicate measurements into mean/stddev/95% CI.
+func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
+
+// MissedDeadlines counts ledger tasks whose service time exceeds the
+// deadline (0 disables).
+func MissedDeadlines(l *Ledger, deadline Time) int { return stats.MissedDeadlines(l, deadline) }
 
 // Measurement helpers.
 type (

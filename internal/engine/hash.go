@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"godpm/internal/soc"
+	"godpm/internal/workload"
 )
 
 // fingerprintVersion is folded into every key so a change to the encoding
@@ -19,7 +20,11 @@ import (
 // v3: soc.Config lost its TraceVCD/TraceCSV writer fields (instrumentation
 // moved to observers, which never affect the Result) and soc.Result gained
 // StopReason.
-const fingerprintVersion = "godpm-config-v3"
+//
+// v4: soc.IPSpec gained Gen (a workload generator spec materialized during
+// normalization). The spec's parameters are folded into the key alongside
+// the expanded workload.
+const fingerprintVersion = "godpm-config-v4"
 
 // Fingerprint returns the canonical content hash of a simulation
 // configuration, usable as a cache key: two configs hash equally iff they
@@ -100,6 +105,15 @@ func writeConfig(w io.Writer, c *soc.Config) {
 		field(w, "ip.prio", spec.StaticPriority)
 		field(w, "ip.init", int(spec.InitialState))
 		field(w, "ip.profile", *spec.Profile)
+		if spec.Gen.Kind != workload.GenNone {
+			// The generator spec is pure value data (scalars, weight
+			// arrays, an inline trace of value structs), so %+v renders it
+			// deterministically. The materialized Sequence/Arrivals below
+			// are derived from it, but hashing both keeps the key honest
+			// if a generator's algorithm ever changes under fixed
+			// parameters.
+			field(w, "ip.gen", spec.Gen)
+		}
 		field(w, "ip.nseq", len(spec.Sequence))
 		for _, it := range spec.Sequence {
 			field(w, "s", it)

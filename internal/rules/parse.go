@@ -39,6 +39,11 @@ func Parse(script string) (*Table, error) {
 			continue
 		}
 		toks := lex(line)
+		if len(toks) == 0 {
+			// The line held only noise words ("the", stray punctuation);
+			// treat it like a blank line rather than indexing into nothing.
+			continue
+		}
 		switch toks[0] {
 		case "default":
 			if hasDefault {

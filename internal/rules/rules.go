@@ -112,6 +112,10 @@ func (t *Table) WithDefault(s acpi.State) *Table {
 	return t
 }
 
+// Default returns the state applied when no rule matches, and whether one
+// is configured.
+func (t *Table) Default() (acpi.State, bool) { return t.def, t.hasDefault }
+
 // Rules returns a copy of the rule list.
 func (t *Table) Rules() []Rule {
 	cp := make([]Rule, len(t.rules))

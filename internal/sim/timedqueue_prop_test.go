@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refEntry is the naive reference model of one live notification: the
+// queue must pop entries in ascending (time, push order).
+type refEntry struct {
+	at    Time
+	order uint64
+	ev    *Event
+}
+
+// refModel is the brute-force reference queue: a flat slice scanned for
+// the minimum on every pop.
+type refModel struct {
+	entries []refEntry
+	pushes  uint64
+}
+
+func (m *refModel) find(ev *Event) int {
+	for i := range m.entries {
+		if m.entries[i].ev == ev {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *refModel) remove(i int) {
+	m.entries = append(m.entries[:i], m.entries[i+1:]...)
+}
+
+func (m *refModel) min() (refEntry, bool) {
+	if len(m.entries) == 0 {
+		return refEntry{}, false
+	}
+	best := 0
+	for i := 1; i < len(m.entries); i++ {
+		e, b := m.entries[i], m.entries[best]
+		if e.at < b.at || (e.at == b.at && e.order < b.order) {
+			best = i
+		}
+	}
+	return m.entries[best], true
+}
+
+// propHarness drives a timedQueue and the reference model through the
+// kernel's three mutation paths (notify, cancel, pop), checking agreement
+// and the stale-count invariant after every operation.
+type propHarness struct {
+	t     *testing.T
+	q     timedQueue
+	model refModel
+	evs   []*Event
+}
+
+func newPropHarness(t *testing.T, nEvents int) *propHarness {
+	h := &propHarness{t: t}
+	h.evs = make([]*Event, nEvents)
+	for i := range h.evs {
+		h.evs[i] = &Event{pendingAt: pendingNone}
+	}
+	return h
+}
+
+// notify mimics Event.Notify's earlier-wins bookkeeping against the queue.
+func (h *propHarness) notify(ev *Event, at Time) {
+	if i := h.model.find(ev); i >= 0 {
+		if h.model.entries[i].at <= at {
+			return // earlier-wins: later notification is a no-op
+		}
+		// Supersede: the old heap entry dies.
+		ev.pendingGen++
+		ev.pendingAt = at
+		h.q.noteStale()
+		h.model.remove(i)
+	} else {
+		ev.pendingGen++
+		ev.pendingAt = at
+	}
+	h.q.push(at, ev.pendingGen, ev)
+	h.model.pushes++
+	h.model.entries = append(h.model.entries, refEntry{at: at, order: h.model.pushes, ev: ev})
+	h.check()
+}
+
+// cancel mimics Event.Cancel.
+func (h *propHarness) cancel(ev *Event) {
+	i := h.model.find(ev)
+	if i < 0 {
+		return
+	}
+	ev.pendingGen++
+	ev.pendingAt = pendingNone
+	h.q.noteStale()
+	h.model.remove(i)
+	h.check()
+}
+
+// pop mimics the kernel's merged peek/pop path and checks it against the
+// model's minimum.
+func (h *propHarness) pop() {
+	at, ok := h.q.nextTime()
+	want, wantOK := h.model.min()
+	if ok != wantOK {
+		h.t.Fatalf("nextTime ok = %v, model has %d live entries", ok, len(h.model.entries))
+	}
+	if !ok {
+		h.check()
+		return
+	}
+	if at != want.at {
+		h.t.Fatalf("nextTime = %v, model min = %v", at, want.at)
+	}
+	top := h.q.popTop()
+	if !top.live() {
+		h.t.Fatal("popTop returned a dead entry after nextTime")
+	}
+	if top.ev != want.ev || top.at != want.at {
+		h.t.Fatalf("popped (%v, %s-ish) but model expected (%v)", top.at, "event", want.at)
+	}
+	// The kernel clears pendingAt before firing, so the popped entry never
+	// counts as stale.
+	top.ev.pendingAt = pendingNone
+	h.model.remove(h.model.find(top.ev))
+	h.check()
+}
+
+// check asserts the stale-count bookkeeping — every heap slot is either
+// one of the model's live entries or a dead entry the queue has been told
+// about — and the compaction guarantee: the heap stays proportional to
+// the number of live notifications, never to the number of notify calls.
+// (Dead entries can transiently exceed half the heap, because compaction
+// triggers only inside noteStale while pops shrink the heap without
+// re-checking; the proportional bound is what the kernel relies on.)
+func (h *propHarness) check() {
+	h.t.Helper()
+	live := len(h.model.entries)
+	if got := h.q.len() - h.q.stale; got != live {
+		h.t.Fatalf("queue believes %d live entries, model has %d", got, live)
+	}
+	if n := h.q.len(); n > 2*live+compactMin {
+		h.t.Fatalf("heap not compacted: %d slots for %d live entries", n, live)
+	}
+}
+
+// drain pops everything, asserting full agreement to emptiness.
+func (h *propHarness) drain() {
+	for {
+		_, ok := h.q.nextTime()
+		if !ok {
+			if len(h.model.entries) != 0 {
+				h.t.Fatalf("queue empty, model still has %d entries", len(h.model.entries))
+			}
+			if h.q.len() != 0 {
+				h.t.Fatalf("no live entries but %d heap slots remain", h.q.len())
+			}
+			return
+		}
+		h.pop()
+	}
+}
+
+// TestTimedQueueModelRandomOps drives random push/supersede/cancel/pop
+// mixes against the reference model across several seeds and op counts,
+// covering the lazy top-pruning and the stale-majority compaction path.
+func TestTimedQueueModelRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		h := newPropHarness(t, 48)
+		const ops = 4000
+		for op := 0; op < ops; op++ {
+			ev := h.evs[rng.Intn(len(h.evs))]
+			switch r := rng.Float64(); {
+			case r < 0.55:
+				// Times collide often (16 buckets) to exercise the FIFO
+				// tiebreak, and occasionally re-notify earlier/later to
+				// exercise both supersede and the earlier-wins no-op.
+				h.notify(ev, Time(1+rng.Intn(16))*Us)
+			case r < 0.8:
+				h.cancel(ev)
+			default:
+				h.pop()
+			}
+		}
+		h.drain()
+	}
+}
+
+// TestTimedQueueCompactionShrinksHeap pins the compaction path directly:
+// burying a majority of dead entries in a large heap must shrink it
+// without disturbing pop order.
+func TestTimedQueueCompactionShrinksHeap(t *testing.T) {
+	h := newPropHarness(t, 256)
+	for i, ev := range h.evs {
+		h.notify(ev, Time(i+1)*Us)
+	}
+	if h.q.len() != 256 {
+		t.Fatalf("heap has %d entries, want 256", h.q.len())
+	}
+	// Cancel three quarters; compaction must have filtered the heap well
+	// below the raw push count.
+	for i, ev := range h.evs {
+		if i%4 != 0 {
+			h.cancel(ev)
+		}
+	}
+	if h.q.len() >= 128 {
+		t.Fatalf("heap still has %d slots after mass cancellation", h.q.len())
+	}
+	// The survivors drain in exactly ascending order.
+	var got []Time
+	for {
+		at, ok := h.q.nextTime()
+		if !ok {
+			break
+		}
+		got = append(got, at)
+		h.pop()
+	}
+	if len(got) != 64 {
+		t.Fatalf("drained %d entries, want 64", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("compacted heap popped out of order")
+	}
+}
+
+// TestTimedQueueFIFOOnEqualTimes pins the (time, push order) tiebreak:
+// entries notified for the same instant pop in notify order, including
+// after supersedes pushed them back in a different heap layout.
+func TestTimedQueueFIFOOnEqualTimes(t *testing.T) {
+	h := newPropHarness(t, 16)
+	// Notify all at 10us, then supersede half of them to 5us (dead + new
+	// entries interleaved in the heap array).
+	for _, ev := range h.evs {
+		h.notify(ev, 10*Us)
+	}
+	for i, ev := range h.evs {
+		if i%2 == 0 {
+			h.notify(ev, 5*Us)
+		}
+	}
+	var order []*Event
+	for {
+		_, ok := h.q.nextTime()
+		if !ok {
+			break
+		}
+		top := h.q.popTop()
+		top.ev.pendingAt = pendingNone
+		h.model.remove(h.model.find(top.ev))
+		order = append(order, top.ev)
+	}
+	if len(order) != 16 {
+		t.Fatalf("popped %d, want 16", len(order))
+	}
+	// First the 5us group in supersede order (evs 0,2,4,...), then the
+	// 10us group in original notify order (evs 1,3,5,...).
+	for i := 0; i < 8; i++ {
+		if order[i] != h.evs[2*i] {
+			t.Fatalf("5us pop %d was not event %d", i, 2*i)
+		}
+		if order[8+i] != h.evs[2*i+1] {
+			t.Fatalf("10us pop %d was not event %d", i, 2*i+1)
+		}
+	}
+}

@@ -150,10 +150,18 @@ type IPSpec struct {
 	// Profile is the power characterisation; nil uses the default.
 	Profile *power.Profile
 	// Sequence is the closed-loop workload; generate it with the workload
-	// package. Exactly one of Sequence and Arrivals must be set.
+	// package. Exactly one of Sequence, Arrivals and Gen must be set.
 	Sequence workload.Sequence
 	// Arrivals is the open-loop workload (absolute service-request times).
 	Arrivals workload.ArrivalSequence
+	// Gen, when its Kind is set, generates the workload during config
+	// normalization: the spec is pure value data (generator kind, seed and
+	// parameters), so two configs with equal specs describe the same
+	// simulation and share an engine cache key. Closed-loop generators
+	// fill Sequence, open-loop ones fill Arrivals; a set Gen is
+	// authoritative and overwrites both. Generation happens entirely
+	// before the kernel starts — it adds nothing to the tick.
+	Gen workload.Spec
 	// StaticPriority is the GEM priority (1 = highest); defaults to its
 	// position + 1.
 	StaticPriority int
@@ -320,6 +328,20 @@ func (c *Config) fillDefaults() error {
 		}
 		if err := spec.Profile.Validate(); err != nil {
 			return fmt.Errorf("soc: %s: %w", spec.Name, err)
+		}
+		if spec.Gen.Kind != workload.GenNone {
+			// Gen is authoritative: it (re)generates the workload whenever
+			// set. Generation is deterministic, so normalizing an
+			// already-normalized config reproduces the same workload and
+			// Normalized stays idempotent. The spec's own defaults are
+			// filled first so a field left zero and the same field set to
+			// its documented default share one engine cache key.
+			spec.Gen = spec.Gen.Normalized()
+			seq, arr, err := spec.Gen.Materialize()
+			if err != nil {
+				return fmt.Errorf("soc: %s: %w", spec.Name, err)
+			}
+			spec.Sequence, spec.Arrivals = seq, arr
 		}
 		if (len(spec.Sequence) > 0) == (len(spec.Arrivals) > 0) {
 			return fmt.Errorf("soc: %s: exactly one of Sequence and Arrivals must be set", spec.Name)
