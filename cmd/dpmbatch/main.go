@@ -109,8 +109,8 @@ func main() {
 		os.Exit(1)
 	}
 	st := eng.Stats()
-	fmt.Fprintf(os.Stderr, "%d jobs on %d workers: %d simulated, %d cache hits, %d errors\n",
-		plan.Len(), eng.Workers(), st.Runs, st.Hits, st.Errors)
+	fmt.Fprintf(os.Stderr, "%d jobs on %d workers: %d simulated, %d cache hits (%d deduped), %d errors, %d canceled\n",
+		plan.Len(), eng.Workers(), st.Runs, st.Hits, st.Deduped, st.Errors, st.Canceled)
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
 		os.Exit(1)

@@ -1,0 +1,743 @@
+// Command dpmserve is the long-running serving layer over the godpm
+// batch engine: an HTTP service that answers simulation and tournament
+// requests from a shared, bounded, deduplicated result cache, so heavy
+// repeated scenario traffic costs one simulation per distinct
+// configuration.
+//
+// Endpoints:
+//
+//	POST /v1/simulate    {"scenario":"A1","tasks":40,"seed":7} or
+//	                     {"config":{...}} → one JSON result record
+//	POST /v1/tournament  {"scenarios":[...],"policies":[...],"seeds":[1,2],
+//	                     "tasks":30} → NDJSON leaderboard rows + trailer
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /statsz         engine counters, hit/dedup/eviction rates
+//
+// In-flight work is bounded (-max-inflight); excess requests are refused
+// with 429 and a Retry-After header rather than queued without bound. On
+// SIGTERM/SIGINT the server stops accepting work and drains in-flight
+// requests gracefully (-drain-timeout).
+//
+// A built-in load generator hammers a running server with a mixed
+// duplicate/distinct scenario stream and reports (optionally asserts)
+// the dedup ratio and cache occupancy:
+//
+//	dpmserve -loadgen -target http://127.0.0.1:8080 \
+//	         -requests 200 -distinct 8 -concurrency 16
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"godpm"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers      = flag.Int("workers", 0, "simulation worker pool (0 = NumCPU)")
+		cacheDir     = flag.String("cache", "", "disk cache directory ('' = memory only)")
+		cacheEntries = flag.Int("cache-entries", 0, "in-memory cache entry cap (0 = default)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "approximate in-memory cache byte cap (0 = unbounded)")
+		diskBytes    = flag.Int64("disk-bytes", 0, "disk cache size cap in bytes (0 = unbounded)")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrent requests before 429 (0 = 4×workers)")
+		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "healthz-503 window before the listener closes (lets load balancers stop routing)")
+		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after the grace window")
+
+		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target      = flag.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
+		requests    = flag.Int("requests", 200, "loadgen: total simulate requests")
+		distinct    = flag.Int("distinct", 8, "loadgen: distinct configurations in the stream")
+		concurrency = flag.Int("concurrency", 16, "loadgen: concurrent clients")
+		lgTasks     = flag.Int("tasks", 20, "loadgen: tasks per request's scenario")
+		assertDedup = flag.Float64("assert-dedup", -1, "loadgen: fail unless served-without-simulation ratio ≥ this (-1 = report only)")
+		assertEnt   = flag.Int64("assert-max-entries", 0, "loadgen: fail if the server's cache_entries exceeds this (0 = report only)")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		rep, err := runLoadgen(loadgenOptions{
+			Target:      *target,
+			Requests:    *requests,
+			Distinct:    *distinct,
+			Concurrency: *concurrency,
+			Tasks:       *lgTasks,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *assertDedup >= 0 && rep.DedupRatio < *assertDedup {
+			fmt.Fprintf(os.Stderr, "assert-dedup: ratio %.3f < %.3f\n", rep.DedupRatio, *assertDedup)
+			os.Exit(1)
+		}
+		if *assertEnt > 0 && rep.Stats.CacheEntries > *assertEnt {
+			fmt.Fprintf(os.Stderr, "assert-max-entries: %d > %d\n", rep.Stats.CacheEntries, *assertEnt)
+			os.Exit(1)
+		}
+		return
+	}
+
+	s, err := newServer(serverOptions{
+		Workers:      *workers,
+		CacheDir:     *cacheDir,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+		DiskBytes:    *diskBytes,
+		MaxInflight:  *maxInflight,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Header/read/idle timeouts keep slow clients from parking goroutines
+	// outside the in-flight bound; no WriteTimeout because tournament
+	// responses stream for as long as the plan runs.
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("dpmserve listening on http://%s (workers=%d, max-inflight=%d)",
+		ln.Addr(), s.eng.Workers(), s.maxInflight)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain, two phases. First flip healthz to 503 while the
+	// listener stays open, so load balancers observe the signal and stop
+	// routing before connections start being refused; then stop accepting
+	// and finish the in-flight requests.
+	s.draining.Store(true)
+	log.Printf("draining: healthz now 503, closing listener in %s", *drainGrace)
+	time.Sleep(*drainGrace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		os.Exit(1)
+	}
+	st := s.eng.Stats()
+	log.Printf("drained cleanly: %d runs, %d hits (%d deduped), %d evictions, %d errors, %d canceled",
+		st.Runs, st.Hits, st.Deduped, st.Evictions, st.Errors, st.Canceled)
+}
+
+// serverOptions configures the serving layer.
+type serverOptions struct {
+	Workers      int
+	CacheDir     string
+	CacheEntries int
+	CacheBytes   int64
+	DiskBytes    int64
+	MaxInflight  int
+}
+
+// server is the HTTP serving layer over one shared engine. The engine's
+// cache and singleflight dedup are what make concurrent duplicate
+// requests cheap: they collapse to one simulation.
+//
+// Two bounds stack: inflight admits at most maxInflight requests (the
+// rest get 429), and gate — a weighted semaphore of -workers units —
+// bounds how much simulation the admitted requests run at once. A
+// simulate request weighs one unit; a tournament request weighs as many
+// units as the engine pool it fans out over, so simulation concurrency
+// never exceeds -workers no matter how requests mix. Admitted requests
+// queue FIFO (bounded by maxInflight) for their units.
+type server struct {
+	eng         *godpm.Engine
+	inflight    chan struct{}
+	gate        *workGate
+	maxInflight int
+	seq         atomic.Int64
+	draining    atomic.Bool
+	start       time.Time
+}
+
+func newServer(o serverOptions) (*server, error) {
+	var cache godpm.Cache
+	var err error
+	if o.CacheDir != "" {
+		cache, err = godpm.NewDiskCacheWith(o.CacheDir, godpm.DiskCacheOptions{
+			MaxBytes: o.DiskBytes,
+			Memory:   godpm.LRUOptions{MaxEntries: o.CacheEntries, MaxBytes: o.CacheBytes},
+		})
+	} else {
+		cache = godpm.NewLRUCache(godpm.LRUOptions{MaxEntries: o.CacheEntries, MaxBytes: o.CacheBytes})
+	}
+	if err != nil {
+		return nil, err
+	}
+	eng := godpm.NewEngine(godpm.EngineOptions{Workers: o.Workers, Cache: cache})
+	maxInflight := o.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 4 * eng.Workers()
+	}
+	return &server{
+		eng:         eng,
+		inflight:    make(chan struct{}, maxInflight),
+		gate:        newWorkGate(eng.Workers()),
+		maxInflight: maxInflight,
+		start:       time.Now(),
+	}, nil
+}
+
+// workGate is a weighted semaphore with FIFO handoff: wide acquisitions
+// (tournaments needing the whole engine pool) are not starved by a
+// stream of 1-unit simulate requests, and the head waiter is always
+// eventually satisfiable because every grant is released.
+type workGate struct {
+	mu    sync.Mutex
+	avail int
+	queue []*gateWaiter
+}
+
+type gateWaiter struct {
+	need  int
+	ready chan struct{}
+}
+
+func newWorkGate(capacity int) *workGate { return &workGate{avail: capacity} }
+
+// acquire claims need units, waiting FIFO; it reports false (claiming
+// nothing) if ctx dies first.
+func (g *workGate) acquire(ctx context.Context, need int) bool {
+	g.mu.Lock()
+	if len(g.queue) == 0 && g.avail >= need {
+		g.avail -= need
+		g.mu.Unlock()
+		return true
+	}
+	w := &gateWaiter{need: need, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+	select {
+	case <-w.ready:
+		return true
+	case <-ctx.Done():
+		g.mu.Lock()
+		for i, q := range g.queue {
+			if q == w {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				// A wide waiter leaving the head can unblock narrower
+				// waiters behind it right now — re-run the grant loop.
+				g.grantLocked()
+				g.mu.Unlock()
+				return false
+			}
+		}
+		g.mu.Unlock()
+		// Lost the race: the grant landed while ctx was dying. Give the
+		// units back.
+		<-w.ready
+		g.release(need)
+		return false
+	}
+}
+
+func (g *workGate) release(units int) {
+	g.mu.Lock()
+	g.avail += units
+	g.grantLocked()
+	g.mu.Unlock()
+}
+
+// grantLocked hands available units to queued waiters in FIFO order;
+// callers hold g.mu.
+func (g *workGate) grantLocked() {
+	for len(g.queue) > 0 && g.queue[0].need <= g.avail {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		g.avail -= w.need
+		close(w.ready)
+	}
+}
+
+// busy returns the units currently claimed.
+func (g *workGate) busy(capacity int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return capacity - g.avail
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/tournament", s.handleTournament)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+// acquire claims an in-flight slot, or answers 429 and reports false.
+// Backpressure is refuse-not-queue: a saturated server tells the client
+// to retry instead of stacking unbounded goroutines.
+func (s *server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server saturated: max in-flight requests reached", http.StatusTooManyRequests)
+		return false
+	}
+}
+
+func (s *server) release() { <-s.inflight }
+
+// simulateRequest selects a configuration: either a named paper/extension
+// scenario (with optional tasks/seed tuning) or an inline Config.
+type simulateRequest struct {
+	Scenario string        `json:"scenario,omitempty"`
+	Tasks    int           `json:"tasks,omitempty"`
+	Seed     int64         `json:"seed,omitempty"`
+	Config   *godpm.Config `json:"config,omitempty"`
+}
+
+// simulateResponse is the flat result record (a cache-served request has
+// CacheHit true and reports the shared entry's measurements).
+type simulateResponse struct {
+	ID        string  `json:"id"`
+	Key       string  `json:"key"`
+	CacheHit  bool    `json:"cache_hit"`
+	EnergyJ   float64 `json:"energy_j"`
+	DurationS float64 `json:"duration_s"`
+	AvgTempC  float64 `json:"avg_temp_c"`
+	PeakTempC float64 `json:"peak_temp_c"`
+	TasksDone int     `json:"tasks_done"`
+	Completed bool    `json:"completed"`
+	FinalSoC  float64 `json:"final_soc"`
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req simulateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, id, err := resolveConfig(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	if !s.gate.acquire(r.Context(), 1) {
+		http.Error(w, "client went away", http.StatusRequestTimeout)
+		return
+	}
+	defer s.gate.release(1)
+
+	var plan godpm.Plan
+	plan.Add(fmt.Sprintf("%s#%d", id, s.seq.Add(1)), cfg)
+	results, runErr := s.eng.Run(r.Context(), plan)
+	jr := results[0]
+	if jr.Err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(jr.Err, context.Canceled) {
+			status = http.StatusRequestTimeout
+		}
+		http.Error(w, jr.Err.Error(), status)
+		return
+	}
+	_ = runErr // per-job error already handled
+	res := jr.Result
+	writeJSON(w, simulateResponse{
+		ID:        jr.Job.ID,
+		Key:       jr.Key,
+		CacheHit:  jr.CacheHit,
+		EnergyJ:   res.EnergyJ,
+		DurationS: res.Duration.Seconds(),
+		AvgTempC:  res.AvgTempC,
+		PeakTempC: res.PeakTempC,
+		TasksDone: res.TasksDone,
+		Completed: res.Completed,
+		FinalSoC:  res.FinalSoC,
+	})
+}
+
+// resolveConfig turns a simulate request into a runnable Config and an ID.
+func resolveConfig(req simulateRequest) (godpm.Config, string, error) {
+	if req.Config != nil {
+		if req.Scenario != "" {
+			return godpm.Config{}, "", fmt.Errorf("pass scenario or config, not both")
+		}
+		return *req.Config, "inline", nil
+	}
+	if req.Scenario == "" {
+		return godpm.Config{}, "", fmt.Errorf("missing scenario (or inline config)")
+	}
+	t := godpm.DefaultTuning()
+	if req.Tasks > 0 {
+		t.NumTasks = req.Tasks
+	}
+	if req.Seed != 0 {
+		t.Seed = req.Seed
+	}
+	if sc, err := godpm.ScenarioByID(strings.ToUpper(req.Scenario), t); err == nil {
+		return sc.Config, sc.ID, nil
+	}
+	if sc, err := godpm.ExtensionByID(req.Scenario, t); err == nil {
+		return sc.Config, sc.ID, nil
+	}
+	// Paper scenarios resolve case-insensitively above; give extensions
+	// the same leniency.
+	for _, sc := range godpm.Extensions(t) {
+		if strings.EqualFold(sc.ID, req.Scenario) {
+			return sc.Config, sc.ID, nil
+		}
+	}
+	return godpm.Config{}, "", fmt.Errorf("unknown scenario %q", req.Scenario)
+}
+
+// tournamentRequest selects entrants and scenarios from the built-in
+// catalogs (empty = all) and the replicate seeds.
+type tournamentRequest struct {
+	Policies   []string `json:"policies,omitempty"`
+	Scenarios  []string `json:"scenarios,omitempty"`
+	Seeds      []uint64 `json:"seeds,omitempty"`
+	Tasks      int      `json:"tasks,omitempty"`
+	DeadlineMs float64  `json:"deadline_ms,omitempty"`
+}
+
+// handleTournament streams the ranked leaderboard as NDJSON: one object
+// per standing, then a trailer {"done":true,...} with the engine
+// counters.
+func (s *server) handleTournament(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req tournamentRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tour, err := buildTournament(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	// A tournament fans out over the engine's whole worker pool, so it
+	// weighs as many gate units as the pool goroutines it will spawn.
+	weight := len(tour.Policies) * len(tour.Scenarios) * len(tour.Seeds)
+	if weight > s.eng.Workers() {
+		weight = s.eng.Workers()
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if !s.gate.acquire(r.Context(), weight) {
+		http.Error(w, "client went away", http.StatusRequestTimeout)
+		return
+	}
+	defer s.gate.release(weight)
+
+	// Commit the response before running: ranking needs every result, so
+	// rows only exist at the end — flushing headers now keeps proxies and
+	// clients from timing out on a byte-less connection meanwhile. Errors
+	// after this point are reported in-band on the trailer line.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	res, err := godpm.RunTournament(r.Context(), s.eng, tour)
+	if err != nil && res == nil {
+		_ = enc.Encode(struct {
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}{false, err.Error()})
+		return
+	}
+	for _, standing := range res.Leaderboard {
+		if err := enc.Encode(standing); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	trailer := struct {
+		Done     bool              `json:"done"`
+		Baseline string            `json:"baseline"`
+		Stats    godpm.EngineStats `json:"stats"`
+		Error    string            `json:"error,omitempty"`
+	}{Done: true, Baseline: res.Baseline, Stats: res.Stats}
+	if err != nil {
+		trailer.Error = err.Error()
+	}
+	_ = enc.Encode(trailer)
+}
+
+func buildTournament(req tournamentRequest) (godpm.Tournament, error) {
+	tasks := req.Tasks
+	if tasks <= 0 {
+		tasks = 30
+	}
+	policies, err := pickByName(godpm.StandardPolicies(), req.Policies,
+		func(p godpm.TournamentPolicy) string { return p.Name })
+	if err != nil {
+		return godpm.Tournament{}, err
+	}
+	scenarios, err := pickByName(godpm.ArenaScenarios(tasks), req.Scenarios,
+		func(s godpm.TournamentScenario) string { return s.Name })
+	if err != nil {
+		return godpm.Tournament{}, err
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	t := godpm.Tournament{Policies: policies, Scenarios: scenarios,
+		Deadline: godpm.Time(req.DeadlineMs * float64(godpm.Ms))}
+	for _, s := range seeds {
+		t.Seeds = append(t.Seeds, godpm.NewSeed(s))
+	}
+	return t, nil
+}
+
+// pickByName filters the catalog to the named subset (nil/empty = all).
+func pickByName[T any](all []T, names []string, name func(T) string) ([]T, error) {
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]T, len(all))
+	known := make([]string, 0, len(all))
+	for _, x := range all {
+		byName[name(x)] = x
+		known = append(known, name(x))
+	}
+	out := make([]T, 0, len(names))
+	for _, n := range names {
+		x, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown name %q; available: %v", n, known)
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// statszResponse is the engine snapshot plus derived serving rates.
+type statszResponse struct {
+	godpm.EngineStats
+	HitRate     float64 `json:"hit_rate"`
+	DedupRate   float64 `json:"dedup_rate"`
+	Inflight    int     `json:"inflight"`
+	MaxInflight int     `json:"max_inflight"`
+	BusyWorkers int     `json:"busy_workers"`
+	Workers     int     `json:"workers"`
+	UptimeS     float64 `json:"uptime_s"`
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	resp := statszResponse{
+		EngineStats: st,
+		Inflight:    len(s.inflight),
+		MaxInflight: s.maxInflight,
+		BusyWorkers: s.gate.busy(s.eng.Workers()),
+		Workers:     s.eng.Workers(),
+		UptimeS:     time.Since(s.start).Seconds(),
+	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		resp.HitRate = float64(st.Hits) / float64(lookups)
+	}
+	if st.Hits > 0 {
+		resp.DedupRate = float64(st.Deduped) / float64(st.Hits)
+	}
+	writeJSON(w, resp)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// loadgenOptions parameterises the load generator.
+type loadgenOptions struct {
+	Target      string
+	Requests    int
+	Distinct    int
+	Concurrency int
+	Tasks       int
+}
+
+// loadReport summarises one loadgen run.
+type loadReport struct {
+	Requests int
+	OK       int
+	TooMany  int // 429 responses (retried)
+	Failed   int
+	Hits     int // responses served from cache/dedup
+	// DedupRatio is the fraction of successful requests served without a
+	// fresh simulation.
+	DedupRatio float64
+	Stats      statszResponse
+}
+
+func (r loadReport) String() string {
+	return fmt.Sprintf(
+		"loadgen: %d requests → %d ok, %d retried (429), %d failed\n"+
+			"served without simulation: %d/%d (ratio %.3f)\n"+
+			"server: runs=%d hits=%d deduped=%d evictions=%d cache_entries=%d cache_bytes=%d\n",
+		r.Requests, r.OK, r.TooMany, r.Failed,
+		r.Hits, r.OK, r.DedupRatio,
+		r.Stats.Runs, r.Stats.Hits, r.Stats.Deduped, r.Stats.Evictions,
+		r.Stats.CacheEntries, r.Stats.CacheBytes)
+}
+
+// runLoadgen hammers target with a mixed duplicate/distinct simulate
+// stream: request i uses seed 1+i%distinct, so duplicates dominate when
+// requests ≫ distinct. 429s are retried with backoff (they are
+// backpressure, not failures).
+func runLoadgen(o loadgenOptions) (loadReport, error) {
+	if o.Distinct < 1 {
+		o.Distinct = 1
+	}
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
+	}
+	client := &http.Client{Timeout: 120 * time.Second}
+	rep := loadReport{Requests: o.Requests}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body, _ := json.Marshal(simulateRequest{
+					Scenario: "A1",
+					Tasks:    o.Tasks,
+					Seed:     int64(1 + i%o.Distinct),
+				})
+				ok, hit, retries := postSimulate(client, o.Target, body)
+				mu.Lock()
+				rep.TooMany += retries
+				if ok {
+					rep.OK++
+					if hit {
+						rep.Hits++
+					}
+				} else {
+					rep.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < o.Requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if rep.OK > 0 {
+		rep.DedupRatio = float64(rep.Hits) / float64(rep.OK)
+	}
+	resp, err := client.Get(o.Target + "/statsz")
+	if err != nil {
+		return rep, fmt.Errorf("statsz: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&rep.Stats); err != nil {
+		return rep, fmt.Errorf("statsz: %w", err)
+	}
+	return rep, nil
+}
+
+// postSimulate sends one simulate request, retrying 429 backpressure.
+// It returns success, whether the response was cache-served, and how
+// many 429s it absorbed.
+func postSimulate(client *http.Client, target string, body []byte) (ok, hit bool, retries int) {
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := client.Post(target+"/v1/simulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, false, retries
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			retries++
+			time.Sleep(time.Duration(10+10*attempt) * time.Millisecond)
+			continue
+		}
+		var sr simulateResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			return false, false, retries
+		}
+		return true, sr.CacheHit, retries
+	}
+	return false, false, retries
+}

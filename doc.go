@@ -12,7 +12,10 @@
 // periodic-with-jitter, heavy-tailed, CSV trace replay — see GenSpec and
 // WorkloadSeed), execute grids on the concurrent cached batch engine, and
 // rank policies across generated scenarios with RunTournament (the
-// cmd/dpmarena CLI):
+// cmd/dpmarena CLI). The engine's cache is a sharded bounded LRU with
+// singleflight dedup (concurrent identical jobs collapse to one
+// simulation), which is what the long-running cmd/dpmserve HTTP service
+// builds on to serve simulation and tournament traffic:
 //
 //	cfg := godpm.Config{
 //	    IPs:    []godpm.IPSpec{{Name: "cpu", Sequence: seq}},
@@ -28,6 +31,6 @@
 // TraceCSV fields. The implementation packages remain under internal/
 // (sim, acpi, lem, gem, battery, thermal, rules, workload, bus, soc,
 // engine, experiments), commands under cmd/ (dpmsim, dpmbatch, dpmarena,
-// dpmtable, dpmsweep, dpmtrace, dpmreport, dpmbench) and runnable
-// examples under examples/.
+// dpmserve, dpmtable, dpmsweep, dpmtrace, dpmreport, dpmbench) and
+// runnable examples under examples/.
 package godpm

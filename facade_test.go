@@ -5,6 +5,7 @@ package godpm_test
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -109,6 +110,37 @@ func TestEngineThroughFacade(t *testing.T) {
 	}
 	if d := godpm.ResultDigest(results[0].Result); d == "" {
 		t.Fatal("empty result digest")
+	}
+}
+
+// TestBoundedCachesThroughFacade exercises the serving-layer cache
+// exports: a bounded LRU engine cache and a bounded disk cache, with
+// eviction counters surfacing in EngineStats.
+func TestBoundedCachesThroughFacade(t *testing.T) {
+	lru := godpm.NewLRUCache(godpm.LRUOptions{MaxEntries: 2, Shards: 1})
+	eng := godpm.NewEngine(godpm.EngineOptions{Workers: 1, Cache: lru})
+	var plan godpm.Plan
+	for _, seed := range []int64{1, 2, 3} {
+		seq := godpm.HighActivity(seed, 8).MustGenerate()
+		plan.Add(fmt.Sprintf("s%d", seed), godpm.Config{IPs: []godpm.IPSpec{{Name: "cpu", Sequence: seq}}})
+	}
+	if _, err := eng.Run(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.CacheEntries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 entries / 1 eviction under a 2-entry cap", st)
+	}
+
+	disk, err := godpm.NewDiskCacheWith(t.TempDir(), godpm.DiskCacheOptions{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Put("cafe0123", &godpm.Result{EnergyJ: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := disk.Get("cafe0123"); !ok || r.EnergyJ != 1 {
+		t.Fatalf("disk round trip: ok=%v r=%+v", ok, r)
 	}
 }
 

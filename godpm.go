@@ -181,15 +181,39 @@ type (
 	Job = engine.Job
 	// JobResult is one job's outcome (result, cache hit, error).
 	JobResult = engine.JobResult
-	// Cache stores results by fingerprint (see NewDiskCache).
+	// Cache stores results by fingerprint (see NewLRUCache/NewDiskCache).
+	// Results handed out by Cache.Get are shared across jobs, engines and
+	// — under dpmserve — HTTP requests: treat them as strictly immutable.
 	Cache = engine.Cache
+	// LRUCache is the sharded, bounded in-memory cache (the engine's
+	// default when EngineOptions.Cache is nil).
+	LRUCache = engine.LRU
+	// LRUOptions bounds an LRUCache (entry cap, approximate byte cap,
+	// shard count).
+	LRUOptions = engine.LRUOptions
+	// DiskCacheOptions bounds a disk cache (on-disk byte cap with
+	// LRU-by-mtime GC, front-memory bounds).
+	DiskCacheOptions = engine.DiskOptions
+	// CacheStats are a cache's occupancy and eviction counters, folded
+	// into EngineStats for caches that report them.
+	CacheStats = engine.CacheStats
 )
 
 // NewEngine builds a batch engine (Workers == 0 means NumCPU).
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
-// NewDiskCache opens a directory-backed result cache for EngineOptions.
+// NewLRUCache builds a sharded bounded in-memory result cache; the zero
+// LRUOptions selects the defaults the engine itself uses.
+func NewLRUCache(opts LRUOptions) *LRUCache { return engine.NewLRU(opts) }
+
+// NewDiskCache opens a directory-backed result cache for EngineOptions,
+// sweeping temp files abandoned by crashed writers.
 func NewDiskCache(dir string) (Cache, error) { return engine.NewDisk(dir) }
+
+// NewDiskCacheWith opens a disk cache with explicit bounds.
+func NewDiskCacheWith(dir string, opts DiskCacheOptions) (Cache, error) {
+	return engine.NewDiskWith(dir, opts)
+}
 
 // Fingerprint returns the canonical content hash of a configuration (the
 // engine's cache key).

@@ -5,74 +5,125 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"godpm/internal/soc"
 )
 
 // Cache stores simulation results by configuration fingerprint. Results
-// handed out by Get are shared — callers must treat them as immutable.
+// handed out by Get are shared — with singleflight dedup and a serving
+// layer on top, one entry may back many concurrent jobs and HTTP
+// responses, so callers must treat them as strictly immutable: never
+// mutate a Result (or its Ledger/maps) obtained from a Cache.
 // Implementations must be safe for concurrent use.
 type Cache interface {
 	Get(key string) (*soc.Result, bool)
 	Put(key string, r *soc.Result) error
 }
 
-// Memory is an in-process result cache.
-type Memory struct {
-	mu sync.RWMutex
-	m  map[string]*soc.Result
+// CacheStats are a cache's occupancy and eviction counters.
+type CacheStats struct {
+	// Entries and Bytes are the current occupancy (Bytes is approximate;
+	// for Disk it is the on-disk payload size).
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Evictions counts entries dropped to enforce a bound.
+	Evictions int64 `json:"evictions"`
 }
 
-// NewMemory returns an empty in-memory cache.
-func NewMemory() *Memory {
-	return &Memory{m: make(map[string]*soc.Result)}
+// StatsReporter is implemented by caches that track occupancy;
+// Engine.Stats folds the counters into its snapshot when present.
+type StatsReporter interface {
+	CacheStats() CacheStats
 }
 
-// Get returns the cached result for key, if any.
-func (c *Memory) Get(key string) (*soc.Result, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	r, ok := c.m[key]
-	return r, ok
-}
-
-// Put stores a result.
-func (c *Memory) Put(key string, r *soc.Result) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[key] = r
-	return nil
-}
-
-// Len returns the number of cached entries.
-func (c *Memory) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+// DiskOptions bounds a disk cache. The zero value means: default
+// front-memory bounds, no on-disk size cap.
+type DiskOptions struct {
+	// MaxBytes caps the total size of the cached *.json payloads; when an
+	// insert overflows it, the least-recently-modified entries are
+	// deleted until the cache fits under 90% of the cap (the hysteresis
+	// amortises the GC's directory scan). 0 means unbounded.
+	MaxBytes int64
+	// Memory bounds the in-process front cache (see LRUOptions); the
+	// zero value selects the LRU defaults.
+	Memory LRUOptions
 }
 
 // Disk is a directory-backed result cache: one JSON file per fingerprint.
-// It layers an in-memory cache in front of the files, so within one
-// process each entry is deserialised at most once. Safe for concurrent
+// It layers a bounded LRU in front of the files, so within one process
+// each entry is deserialised at most once while hot. Safe for concurrent
 // use within a process; concurrent writers in separate processes are
 // harmless because writes are atomic (write-to-temp + rename) and entries
 // are content-addressed.
+//
+// Opening the cache sweeps temp files abandoned by crashed writers, and a
+// Get that finds a corrupt or stale-format entry deletes it so the slot
+// heals with the next Put instead of re-missing every process lifetime.
 type Disk struct {
 	dir string
-	mem *Memory
+	mem *LRU
+
+	gcMu      sync.Mutex
+	bytes     int64 // approximate total size of *.json payloads
+	entries   int64 // approximate count of *.json entries
+	maxBytes  int64
+	evictions int64
 }
 
-// NewDisk opens (creating if needed) a disk cache rooted at dir.
+// NewDisk opens (creating if needed) an unbounded disk cache rooted at
+// dir, sweeping stale temp files left by crashed writers.
 func NewDisk(dir string) (*Disk, error) {
+	return NewDiskWith(dir, DiskOptions{})
+}
+
+// NewDiskWith opens a disk cache with explicit bounds.
+func NewDiskWith(dir string, opts DiskOptions) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: cache dir: %w", err)
 	}
-	return &Disk{dir: dir, mem: NewMemory()}, nil
+	c := &Disk{dir: dir, mem: NewLRU(opts.Memory), maxBytes: opts.MaxBytes}
+	c.sweepTemp()
+	c.bytes, c.entries = c.scan()
+	if c.maxBytes > 0 {
+		c.gc()
+	}
+	return c, nil
 }
 
 func (c *Disk) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
+}
+
+// sweepTemp removes temp files abandoned by writers that crashed between
+// CreateTemp and the atomic rename. Any live writer's temp file is at
+// most seconds old and will be renamed away or re-created; deleting it
+// costs one redundant simulation, never correctness.
+func (c *Disk) sweepTemp() {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.tmp*"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
+
+// scan counts the current *.json payloads and their total size.
+func (c *Disk) scan() (bytes, entries int64) {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return 0, 0
+	}
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil {
+			bytes += fi.Size()
+			entries++
+		}
+	}
+	return bytes, entries
 }
 
 // Get returns the cached result for key from memory or disk.
@@ -80,21 +131,29 @@ func (c *Disk) Get(key string) (*soc.Result, bool) {
 	if r, ok := c.mem.Get(key); ok {
 		return r, true
 	}
-	data, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	var r soc.Result
 	if err := json.Unmarshal(data, &r); err != nil {
-		// A corrupt or stale-format entry is a miss, not an error; the
-		// fresh run will overwrite it.
+		// A corrupt or stale-format entry can never hit again; delete it
+		// so the next Put heals the slot instead of the key re-missing
+		// every process lifetime.
+		c.remove(path, int64(len(data)))
 		return nil, false
 	}
+	// Refresh the mtime so the size-cap GC's recency order reflects
+	// access, not just write order (a hit loads from disk at most once
+	// per process lifetime — after this the front memory serves it).
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	c.mem.Put(key, &r)
 	return &r, true
 }
 
-// Put stores a result in memory and on disk.
+// Put stores a result in memory and on disk, then enforces the size cap.
 func (c *Disk) Put(key string, r *soc.Result) error {
 	c.mem.Put(key, r)
 	data, err := json.Marshal(r)
@@ -114,9 +173,97 @@ func (c *Disk) Put(key string, r *soc.Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: cache write: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	// Stat + rename + accounting happen under gcMu so a concurrent gc()
+	// snapshot cannot interleave and double-count the entry.
+	path := c.path(key)
+	c.gcMu.Lock()
+	var old int64
+	existed := false
+	if fi, err := os.Stat(path); err == nil {
+		old, existed = fi.Size(), true
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		c.gcMu.Unlock()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: cache write: %w", err)
 	}
+	c.bytes += int64(len(data)) - old
+	if !existed {
+		c.entries++
+	}
+	over := c.maxBytes > 0 && c.bytes > c.maxBytes
+	c.gcMu.Unlock()
+	if over {
+		c.gc()
+	}
 	return nil
+}
+
+// remove deletes one entry file and adjusts the occupancy accounting.
+func (c *Disk) remove(path string, size int64) {
+	if os.Remove(path) == nil {
+		c.gcMu.Lock()
+		c.bytes -= size
+		c.entries--
+		c.gcMu.Unlock()
+	}
+}
+
+// gc deletes least-recently-used entries until the cache fits under
+// 90% of MaxBytes — LRU by mtime, which Put's atomic rename sets and a
+// disk-layer Get refreshes. The 10% hysteresis amortises the directory
+// scan: at steady
+// state each gc buys ~MaxBytes/10 of writes before the next one, so Put
+// is not O(directory) per insert. Entries evicted here are only files:
+// the front memory keeps serving its own (bounded) working set.
+func (c *Disk) gc() {
+	c.gcMu.Lock()
+	defer c.gcMu.Unlock()
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return
+	}
+	target := c.maxBytes - c.maxBytes/10
+	type entry struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	entries := make([]entry, 0, len(matches))
+	var total int64
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{m, fi.Size(), fi.ModTime().UnixNano()})
+		total += fi.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime < entries[j].mtime })
+	kept := int64(len(entries))
+	for _, e := range entries {
+		if total <= target {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			kept--
+			c.evictions++
+		}
+	}
+	c.bytes, c.entries = total, kept
+}
+
+// CacheStats reports the on-disk occupancy from the maintained counters —
+// O(1), so a serving layer can scrape it per request without re-listing
+// the cache directory (counters are approximate when separate processes
+// share the directory). Entries/Bytes are the persistent layer; the
+// eviction count sums both layers — size-cap GC deletions plus the
+// bounded front memory's evictions — so pressure on either bound is
+// observable.
+func (c *Disk) CacheStats() CacheStats {
+	memEvictions := c.mem.CacheStats().Evictions
+	c.gcMu.Lock()
+	defer c.gcMu.Unlock()
+	return CacheStats{Entries: c.entries, Bytes: c.bytes, Evictions: c.evictions + memEvictions}
 }

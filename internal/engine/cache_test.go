@@ -1,0 +1,158 @@
+package engine_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"godpm/internal/engine"
+	"godpm/internal/soc"
+)
+
+func listFiles(t *testing.T, dir, pattern string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestDiskSweepsStaleTempFiles pins the crash-leak fix: temp files
+// abandoned between CreateTemp and the atomic rename are removed when the
+// cache is opened, and committed entries are untouched.
+func TestDiskSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"abc123.tmp42", "def456.tmp", "ghi789.tmp999"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "live.json"), []byte(`{"EnergyJ":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := engine.NewDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if left := listFiles(t, dir, "*.tmp*"); len(left) != 0 {
+		t.Fatalf("stale temp files survived the janitor: %v", left)
+	}
+	if left := listFiles(t, dir, "*.json"); len(left) != 1 {
+		t.Fatalf("janitor touched committed entries: %v", left)
+	}
+}
+
+// TestDiskDeletesCorruptEntry pins the re-miss fix: a corrupt entry is a
+// miss AND is deleted, so the next Put heals the slot permanently.
+func TestDiskDeletesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := engine.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "deadbeef"
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not deleted on failed decode")
+	}
+
+	// The slot heals: a Put stores a decodable entry that hits from a
+	// fresh cache over the same directory.
+	if err := c.Put(key, &soc.Result{EnergyJ: 42}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := engine.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := c2.Get(key)
+	if !ok || r.EnergyJ != 42 {
+		t.Fatalf("healed entry not served: ok=%v r=%+v", ok, r)
+	}
+}
+
+// TestDiskSizeCapGC pins the size-capped disk cache: overflow deletes the
+// least-recently-modified entries first, both at open and after Put.
+func TestDiskSizeCapGC(t *testing.T) {
+	dir := t.TempDir()
+	unbounded, err := engine.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entrySize int64
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 8; i++ {
+		key := fakeKey(i)
+		if err := unbounded.Put(key, &soc.Result{EnergyJ: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, key+".json")
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entrySize = fi.Size()
+		// Deterministic mtime order: key i is older than key i+1.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen with room for 4 entries: GC runs at open and — with the 10%
+	// hysteresis — evicts oldest-first down to ≤ 0.9×cap, keeping the 3
+	// newest (3 entries fit under 3.6 entries' worth of budget).
+	maxBytes := 4 * entrySize
+	capped, err := engine.NewDiskWith(dir, engine.DiskOptions{MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(listFiles(t, dir, "*.json")); n != 3 {
+		t.Fatalf("%d entries after open-time GC, want 3", n)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := capped.Get(fakeKey(i)); ok {
+			t.Fatalf("old entry %d survived GC", i)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if r, ok := capped.Get(fakeKey(i)); !ok || r.EnergyJ != float64(i) {
+			t.Fatalf("recent entry %d lost by GC", i)
+		}
+	}
+
+	// The freed headroom absorbs the next Put without re-scanning, and
+	// the cap holds. The payload matches the others byte-for-byte so the
+	// arithmetic stays exact.
+	if err := capped.Put(fakeKey(100), &soc.Result{EnergyJ: 9}); err != nil {
+		t.Fatal(err)
+	}
+	st := capped.CacheStats()
+	if st.Bytes > maxBytes {
+		t.Fatalf("size cap violated after Put: %d > %d", st.Bytes, maxBytes)
+	}
+	if st.Entries != 4 {
+		t.Fatalf("entries counter = %d, want 4", st.Entries)
+	}
+	if st.Evictions != 5 {
+		t.Fatalf("evictions %d, want 5 (the oldest five, at open)", st.Evictions)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fakeKey(100)+".json")); err != nil {
+		t.Fatal("newest entry GCed instead of the oldest")
+	}
+}
+
+// fakeKey builds a distinct hex cache key per index.
+func fakeKey(i int) string {
+	return fmt.Sprintf("%032x", i)
+}

@@ -6,12 +6,14 @@
 // no matter which worker finished first.
 //
 // Every job is content-addressed: Fingerprint hashes the normalized
-// soc.Config, and a Cache (in-memory, or layered over a directory of JSON
-// files) short-circuits jobs whose fingerprint has already been computed.
-// Repeated invocations of the same experiment grid — the paper's Table 2
-// scenarios, ablation sweeps, seed-replication fan-outs — therefore cost
-// one simulation per distinct configuration, ever, when a disk cache is
-// shared between runs.
+// soc.Config, and a Cache (a sharded bounded LRU in memory, or layered
+// over a directory of JSON files) short-circuits jobs whose fingerprint
+// has already been computed. Concurrent jobs with the same fingerprint
+// additionally collapse to one simulation (singleflight): the waiters are
+// served the winner's result as cache hits. Repeated invocations of the
+// same experiment grid — the paper's Table 2 scenarios, ablation sweeps,
+// seed-replication fan-outs — therefore cost one simulation per distinct
+// configuration, ever, when a disk cache is shared between runs.
 package engine
 
 import (
@@ -61,11 +63,26 @@ type JobResult struct {
 type Stats struct {
 	// Hits and Misses count cache lookups; Runs counts simulations
 	// actually executed (== Misses unless caching is disabled); Errors
-	// counts failed jobs.
-	Hits   int64
-	Misses int64
-	Runs   int64
-	Errors int64
+	// counts failed jobs. Jobs served by waiting on a concurrent
+	// identical simulation (singleflight) count as Hits.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Runs   int64 `json:"runs"`
+	Errors int64 `json:"errors"`
+	// Canceled counts jobs abandoned or aborted by context cancellation —
+	// kept apart from Errors so progress reporting and /statsz don't
+	// present cancellations as failures.
+	Canceled int64 `json:"canceled"`
+	// Deduped counts the singleflight waiters: jobs served the result of
+	// a concurrent identical simulation without probing the cache. They
+	// are included in Hits.
+	Deduped int64 `json:"deduped"`
+	// Evictions, CacheEntries and CacheBytes mirror the cache's counters
+	// when the configured cache reports them (see StatsReporter); zero
+	// otherwise.
+	Evictions    int64 `json:"evictions"`
+	CacheEntries int64 `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
 }
 
 // Engine runs plans. It is safe for concurrent use; counters and cache
@@ -74,11 +91,12 @@ type Stats struct {
 type Engine struct {
 	workers  int
 	cache    Cache
+	flights  flightGroup
 	onStart  func(i int, job Job)
 	onResult func(i int, jr JobResult)
 	cbMu     sync.Mutex
 
-	hits, misses, runs, errs atomic.Int64
+	hits, misses, runs, errs, canceled, deduped atomic.Int64
 }
 
 // New builds an engine.
@@ -91,7 +109,7 @@ func New(opts Options) *Engine {
 	if opts.NoCache {
 		c = nil
 	} else if c == nil {
-		c = NewMemory()
+		c = NewLRU(LRUOptions{})
 	}
 	return &Engine{workers: w, cache: c, onStart: opts.OnStart, onResult: opts.OnResult}
 }
@@ -99,14 +117,24 @@ func New(opts Options) *Engine {
 // Workers returns the pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, including the
+// cache's occupancy and eviction counters when the cache reports them.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Hits:   e.hits.Load(),
-		Misses: e.misses.Load(),
-		Runs:   e.runs.Load(),
-		Errors: e.errs.Load(),
+	st := Stats{
+		Hits:     e.hits.Load(),
+		Misses:   e.misses.Load(),
+		Runs:     e.runs.Load(),
+		Errors:   e.errs.Load(),
+		Canceled: e.canceled.Load(),
+		Deduped:  e.deduped.Load(),
 	}
+	if r, ok := e.cache.(StatsReporter); ok {
+		cs := r.CacheStats()
+		st.Evictions = cs.Evictions
+		st.CacheEntries = cs.Entries
+		st.CacheBytes = cs.Bytes
+	}
+	return st
 }
 
 // Run executes every job of the plan and returns the results index-aligned
@@ -158,9 +186,10 @@ feed:
 		case idx <- i:
 		case <-ctx.Done():
 			// Mark everything not yet handed to a worker as abandoned.
+			// Abandonment is cancellation, not failure.
 			for j := i; j < n; j++ {
 				results[j] = JobResult{Job: plan.Jobs[j], Err: ctx.Err()}
-				e.errs.Add(1)
+				e.canceled.Add(1)
 			}
 			break feed
 		}
@@ -177,10 +206,14 @@ feed:
 	return results, errors.Join(errs...)
 }
 
-// runJob executes one job: fingerprint, cache probe, simulate, store.
+// runJob executes one job: fingerprint, cache probe, singleflight join,
+// simulate, store. Concurrent jobs with the same key collapse to one
+// simulation — the waiters are served the winner's result as cache hits,
+// so a stampede of identical jobs costs one run and never double-counts
+// Misses.
 func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 	if err := ctx.Err(); err != nil {
-		e.errs.Add(1)
+		e.canceled.Add(1)
 		return JobResult{Job: job, Err: err}
 	}
 	jr := JobResult{Job: job}
@@ -195,25 +228,83 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 	// bit-identical to a bare run), so they never block caching — though a
 	// cache-served job does not simulate and its observers see nothing.
 	// Stop conditions are part of the key; only Volatile (host-timing)
-	// conditions make a job uncacheable.
-	cacheable := e.cache != nil && !job.Options.Volatile()
-	if cacheable {
+	// conditions make a job uncacheable. Uncacheable jobs also skip
+	// dedup: NoCache benchmarks want cold runs, and volatile jobs are
+	// not interchangeable.
+	if e.cache == nil || job.Options.Volatile() {
+		e.runs.Add(1)
+		jr.Result, jr.Err = soc.RunWith(ctx, job.Config, job.Options)
+		if jr.Err != nil {
+			e.countFailure(jr.Err)
+		}
+		return jr
+	}
+	for {
 		if r, ok := e.cache.Get(jr.Key); ok {
 			e.hits.Add(1)
 			jr.Result, jr.CacheHit = r, true
 			return jr
 		}
+		f, leader := e.flights.join(jr.Key)
+		if !leader {
+			select {
+			case <-f.done:
+				if f.err != nil {
+					if isCancellation(f.err) && ctx.Err() == nil {
+						// The winner's context died, not the work — retake
+						// the flight (or hit the cache, if a sibling won).
+						continue
+					}
+					e.countFailure(f.err)
+					jr.Err = f.err
+					return jr
+				}
+				e.hits.Add(1)
+				e.deduped.Add(1)
+				jr.Result, jr.CacheHit = f.r, true
+				return jr
+			case <-ctx.Done():
+				e.canceled.Add(1)
+				jr.Err = ctx.Err()
+				return jr
+			}
+		}
+		// Leader. A sibling may have populated the cache between our miss
+		// and the join; re-probe before paying for a simulation.
+		if r, ok := e.cache.Get(jr.Key); ok {
+			e.flights.finish(jr.Key, f, r, nil)
+			e.hits.Add(1)
+			jr.Result, jr.CacheHit = r, true
+			return jr
+		}
 		e.misses.Add(1)
-	}
-	e.runs.Add(1)
-	jr.Result, jr.Err = soc.RunWith(ctx, job.Config, job.Options)
-	if jr.Err != nil {
-		e.errs.Add(1)
+		e.runs.Add(1)
+		r, runErr := soc.RunWith(ctx, job.Config, job.Options)
+		if runErr == nil {
+			// Put before finish: retired flights send latecomers to the
+			// cache, so it must already hold the result. A cache-write
+			// failure degrades caching, not correctness.
+			_ = e.cache.Put(jr.Key, r)
+		} else {
+			e.countFailure(runErr)
+		}
+		e.flights.finish(jr.Key, f, r, runErr)
+		jr.Result, jr.Err = r, runErr
 		return jr
 	}
-	if cacheable {
-		// A cache-write failure degrades caching, not correctness.
-		_ = e.cache.Put(jr.Key, jr.Result)
+}
+
+// countFailure books a failed job under Canceled or Errors.
+func (e *Engine) countFailure(err error) {
+	if isCancellation(err) {
+		e.canceled.Add(1)
+	} else {
+		e.errs.Add(1)
 	}
-	return jr
+}
+
+// isCancellation reports whether err is a context cancellation rather
+// than a simulation failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"sync"
+
+	"godpm/internal/soc"
+)
+
+// flight is one in-progress simulation shared by every job with the same
+// cache key: the leader runs it, waiters block on done and read r/err.
+type flight struct {
+	done chan struct{}
+	r    *soc.Result
+	err  error
+}
+
+// flightGroup deduplicates concurrent identical work (singleflight): at
+// most one flight exists per key at a time, so a stampede of jobs with
+// the same fingerprint collapses to one simulation.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the live flight for key and whether the caller became its
+// leader (created it). Leaders must call finish exactly once.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome to the waiters and retires the
+// flight, so later jobs with the same key probe the cache (which the
+// leader populated before calling finish) instead of a spent flight.
+func (g *flightGroup) finish(key string, f *flight, r *soc.Result, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.r, f.err = r, err
+	close(f.done)
+}

@@ -1,0 +1,152 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"godpm/internal/engine"
+	"godpm/internal/soc"
+)
+
+// TestStampedeCollapsesToOneRun is the acceptance pin for the cache
+// stampede fix: a plan of 64 jobs over 4 distinct configs on 8 workers
+// yields exactly one simulation per distinct config — the waiters are
+// served the winner's result as cache hits, and Misses is not
+// double-counted. Run under -race in CI.
+func TestStampedeCollapsesToOneRun(t *testing.T) {
+	const (
+		jobs     = 64
+		distinct = 4
+	)
+	var plan engine.Plan
+	for i := 0; i < jobs; i++ {
+		seed := int64(1 + i%distinct)
+		plan.Add(fmt.Sprintf("dup%02d@%d", i, seed), testConfig(seed, soc.PolicyDPM, 10))
+	}
+	eng := engine.New(engine.Options{Workers: 8})
+	results, err := eng.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if st.Runs != distinct {
+		t.Fatalf("stampede: %d simulations for %d distinct configs", st.Runs, distinct)
+	}
+	if st.Misses != distinct {
+		t.Fatalf("misses double-counted: %d, want %d (waiters must count as hits)", st.Misses, distinct)
+	}
+	if st.Hits != jobs-distinct {
+		t.Fatalf("hits = %d, want %d", st.Hits, jobs-distinct)
+	}
+	if st.Deduped > st.Hits {
+		t.Fatalf("deduped %d exceeds hits %d", st.Deduped, st.Hits)
+	}
+	if st.Errors != 0 || st.Canceled != 0 {
+		t.Fatalf("stats %+v, want no errors/cancellations", st)
+	}
+
+	// Every duplicate of a config shares the winner's result verbatim.
+	bySeed := make(map[string]string)
+	for i, jr := range results {
+		if jr.Err != nil || jr.Result == nil {
+			t.Fatalf("job %s failed: %v", jr.Job.ID, jr.Err)
+		}
+		seed := plan.Jobs[i].ID[len(plan.Jobs[i].ID)-1:]
+		d := engine.ResultDigest(jr.Result)
+		if prev, ok := bySeed[seed]; ok && prev != d {
+			t.Fatalf("job %s: digest differs from its duplicate", jr.Job.ID)
+		}
+		bySeed[seed] = d
+	}
+	if len(bySeed) != distinct {
+		t.Fatalf("%d distinct digests, want %d", len(bySeed), distinct)
+	}
+}
+
+// TestDedupAcrossEngineRunCalls drives concurrent Run calls (the dpmserve
+// pattern: one call per HTTP request) at the same engine and asserts the
+// singleflight collapses them too.
+func TestDedupAcrossEngineRunCalls(t *testing.T) {
+	const callers = 8
+	eng := engine.New(engine.Options{Workers: 8})
+	cfg := testConfig(7, soc.PolicyDPM, 10)
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var p engine.Plan
+			p.Add(fmt.Sprintf("req%d", i), cfg)
+			_, errs[i] = eng.Run(context.Background(), p)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	st := eng.Stats()
+	if st.Runs != 1 {
+		t.Fatalf("%d concurrent identical requests simulated %d times, want 1", callers, st.Runs)
+	}
+	if st.Hits != callers-1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want %d hits / 1 miss", st, callers-1)
+	}
+}
+
+// TestCanceledJobsAreNotErrors pins the Canceled counter satellite:
+// ctx-abandoned jobs must not inflate Stats.Errors.
+func TestCanceledJobsAreNotErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := engine.New(engine.Options{Workers: 2})
+	plan := testPlan(10)
+	if _, err := eng.Run(ctx, plan); err == nil {
+		t.Fatal("expected a joined cancellation error")
+	}
+	st := eng.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("cancellation inflated Errors: %+v", st)
+	}
+	if st.Canceled != int64(plan.Len()) {
+		t.Fatalf("Canceled = %d, want %d", st.Canceled, plan.Len())
+	}
+	if st.Runs != 0 {
+		t.Fatalf("ran %d jobs under a cancelled context", st.Runs)
+	}
+}
+
+// TestGenuineFailuresStayErrors guards the other side of the split: a
+// failing config still counts under Errors, not Canceled, and a stampede
+// of waiters on a failing leader all observe the failure.
+func TestGenuineFailuresStayErrors(t *testing.T) {
+	var plan engine.Plan
+	for i := 0; i < 6; i++ {
+		plan.Add(fmt.Sprintf("bad%d", i), soc.Config{}) // no IPs: rejected
+	}
+	eng := engine.New(engine.Options{Workers: 4})
+	results, err := eng.Run(context.Background(), plan)
+	if err == nil {
+		t.Fatal("expected a joined job error")
+	}
+	for _, jr := range results {
+		if jr.Err == nil {
+			t.Fatalf("job %s did not observe the failure", jr.Job.ID)
+		}
+	}
+	st := eng.Stats()
+	if st.Canceled != 0 {
+		t.Fatalf("failures booked as cancellations: %+v", st)
+	}
+	if st.Errors != int64(plan.Len()) {
+		t.Fatalf("Errors = %d, want %d (every failed job counts)", st.Errors, plan.Len())
+	}
+	if st.Runs > int64(plan.Len()) {
+		t.Fatalf("runs %d exceed plan", st.Runs)
+	}
+}
