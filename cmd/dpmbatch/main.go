@@ -11,7 +11,7 @@
 //
 //	dpmbatch [-scenarios all|ext|A1,B,...] [-study timeout|activity|alpha]
 //	         [-replicates N] [-tasks N] [-seed N]
-//	         [-workers N] [-cache DIR] [-format csv|json] [-v]
+//	         [-workers N] [-cache DIR] [-remote-url URL] [-format csv|json] [-v]
 //
 // Examples:
 //
@@ -42,6 +42,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "base workload seed (0 = default tuning)")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 		cacheDir   = flag.String("cache", "", "result cache directory ('' = in-memory only)")
+		remoteURL  = flag.String("remote-url", "", "dpmremote shared result store base URL ('' = local tiers only)")
 		format     = flag.String("format", "csv", "output format: csv or json")
 		verbose    = flag.Bool("v", false, "log every job completion to stderr")
 	)
@@ -77,6 +78,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// A shared dpmremote store layers behind the local tiers: grids some
+	// other process (or a previous invocation on another machine) already
+	// ran are fetched instead of simulated, and fresh results replicate
+	// to the fleet via write-behind PUTs.
+	var tiered *godpm.TieredCache
+	if *remoteURL != "" {
+		if cache == nil {
+			cache = godpm.NewLRUCache(godpm.LRUOptions{})
+		}
+		remote, err := godpm.NewRemoteCache(godpm.RemoteCacheOptions{BaseURL: *remoteURL})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		tiered = godpm.NewTieredCache(
+			godpm.CacheTier{Name: "local", Cache: cache},
+			godpm.CacheTier{Name: godpm.TierRemote, Cache: remote, AsyncPut: true},
+		)
+		cache = tiered
+	}
 	opts := godpm.EngineOptions{Workers: *workers, Cache: cache}
 	if *verbose {
 		// OnStart/OnResult calls are serialised by the engine, so plain
@@ -108,9 +129,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if tiered != nil {
+		// Flush the write-behind queue so this grid's fresh results reach
+		// the shared store before the process exits.
+		tiered.Close()
+	}
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr, "%d jobs on %d workers: %d simulated, %d cache hits (%d deduped), %d errors, %d canceled\n",
 		plan.Len(), eng.Workers(), st.Runs, st.Hits, st.Deduped, st.Errors, st.Canceled)
+	if len(st.Tiers) > 0 {
+		parts := make([]string, len(st.Tiers))
+		for i, tier := range st.Tiers {
+			parts[i] = fmt.Sprintf("%s %d/%d", tier.Tier, tier.Hits, tier.Hits+tier.Misses)
+		}
+		fmt.Fprintf(os.Stderr, "cache tiers [hits/lookups]: %s\n", strings.Join(parts, ", "))
+	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
 		os.Exit(1)

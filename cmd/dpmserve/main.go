@@ -56,24 +56,38 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 0, "in-memory cache entry cap (0 = default)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "approximate in-memory cache byte cap (0 = unbounded)")
 		diskBytes    = flag.Int64("disk-bytes", 0, "disk cache size cap in bytes (0 = unbounded)")
+		remoteURL    = flag.String("remote-url", "", "dpmremote shared result store base URL ('' = local tiers only)")
+		remoteTO     = flag.Duration("remote-timeout", 2*time.Second, "per-operation remote store timeout")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent requests before 429 (0 = 4×workers)")
 		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "healthz-503 window before the listener closes (lets load balancers stop routing)")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after the grace window")
 
 		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target      = flag.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
+		replicas    = flag.String("replicas", "", "loadgen: comma-separated replica base URLs to round-robin across (overrides -target)")
 		requests    = flag.Int("requests", 200, "loadgen: total simulate requests")
 		distinct    = flag.Int("distinct", 8, "loadgen: distinct configurations in the stream")
 		concurrency = flag.Int("concurrency", 16, "loadgen: concurrent clients")
 		lgTasks     = flag.Int("tasks", 20, "loadgen: tasks per request's scenario")
 		assertDedup = flag.Float64("assert-dedup", -1, "loadgen: fail unless served-without-simulation ratio ≥ this (-1 = report only)")
-		assertEnt   = flag.Int64("assert-max-entries", 0, "loadgen: fail if the server's cache_entries exceeds this (0 = report only)")
+		assertEnt   = flag.Int64("assert-max-entries", 0, "loadgen: fail if any replica's cache_entries exceeds this (0 = report only)")
+		assertRuns  = flag.Int64("assert-fleet-runs", 0, "loadgen: fail if the summed simulations across replicas exceed this (0 = report only)")
+		assertRHits = flag.Int64("assert-remote-hits", 0, "loadgen: fail unless summed remote-tier hits across replicas ≥ this (0 = report only)")
 	)
 	flag.Parse()
 
 	if *loadgen {
+		targets := []string{*target}
+		if *replicas != "" {
+			targets = targets[:0]
+			for _, t := range strings.Split(*replicas, ",") {
+				if t = strings.TrimSpace(t); t != "" {
+					targets = append(targets, t)
+				}
+			}
+		}
 		rep, err := runLoadgen(loadgenOptions{
-			Target:      *target,
+			Targets:     targets,
 			Requests:    *requests,
 			Distinct:    *distinct,
 			Concurrency: *concurrency,
@@ -84,24 +98,47 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.String())
+		fail := false
+		if rep.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: %d requests failed\n", rep.Failed)
+			fail = true
+		}
 		if *assertDedup >= 0 && rep.DedupRatio < *assertDedup {
 			fmt.Fprintf(os.Stderr, "assert-dedup: ratio %.3f < %.3f\n", rep.DedupRatio, *assertDedup)
-			os.Exit(1)
+			fail = true
 		}
-		if *assertEnt > 0 && rep.Stats.CacheEntries > *assertEnt {
-			fmt.Fprintf(os.Stderr, "assert-max-entries: %d > %d\n", rep.Stats.CacheEntries, *assertEnt)
+		if *assertEnt > 0 {
+			for i, st := range rep.Replicas {
+				if st.CacheEntries > *assertEnt {
+					fmt.Fprintf(os.Stderr, "assert-max-entries: replica %d: %d > %d\n", i, st.CacheEntries, *assertEnt)
+					fail = true
+				}
+			}
+		}
+		if *assertRuns > 0 && rep.FleetRuns > *assertRuns {
+			fmt.Fprintf(os.Stderr, "assert-fleet-runs: %d simulations across %d replicas > %d — fleet dedup is not holding\n",
+				rep.FleetRuns, len(rep.Replicas), *assertRuns)
+			fail = true
+		}
+		if *assertRHits > 0 && rep.RemoteHits < *assertRHits {
+			fmt.Fprintf(os.Stderr, "assert-remote-hits: %d < %d — the shared store served nothing\n", rep.RemoteHits, *assertRHits)
+			fail = true
+		}
+		if fail {
 			os.Exit(1)
 		}
 		return
 	}
 
 	s, err := newServer(serverOptions{
-		Workers:      *workers,
-		CacheDir:     *cacheDir,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheBytes,
-		DiskBytes:    *diskBytes,
-		MaxInflight:  *maxInflight,
+		Workers:       *workers,
+		CacheDir:      *cacheDir,
+		CacheEntries:  *cacheEntries,
+		CacheBytes:    *cacheBytes,
+		DiskBytes:     *diskBytes,
+		RemoteURL:     *remoteURL,
+		RemoteTimeout: *remoteTO,
+		MaxInflight:   *maxInflight,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -149,6 +186,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
 		os.Exit(1)
 	}
+	// Flush the write-behind queue so results computed moments before
+	// SIGTERM still reach the shared store for the rest of the fleet.
+	if s.tiered != nil {
+		_ = s.tiered.Close()
+	}
 	st := s.eng.Stats()
 	log.Printf("drained cleanly: %d runs, %d hits (%d deduped), %d evictions, %d errors, %d canceled",
 		st.Runs, st.Hits, st.Deduped, st.Evictions, st.Errors, st.Canceled)
@@ -156,12 +198,14 @@ func main() {
 
 // serverOptions configures the serving layer.
 type serverOptions struct {
-	Workers      int
-	CacheDir     string
-	CacheEntries int
-	CacheBytes   int64
-	DiskBytes    int64
-	MaxInflight  int
+	Workers       int
+	CacheDir      string
+	CacheEntries  int
+	CacheBytes    int64
+	DiskBytes     int64
+	RemoteURL     string
+	RemoteTimeout time.Duration
+	MaxInflight   int
 }
 
 // server is the HTTP serving layer over one shared engine. The engine's
@@ -177,6 +221,7 @@ type serverOptions struct {
 // queue FIFO (bounded by maxInflight) for their units.
 type server struct {
 	eng         *godpm.Engine
+	tiered      *godpm.TieredCache // non-nil when a remote tier is wired in
 	inflight    chan struct{}
 	gate        *workGate
 	maxInflight int
@@ -199,6 +244,25 @@ func newServer(o serverOptions) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A remote store layers behind the local tiers: read-through with
+	// promotion, write-behind PUTs, and fail-open degradation — a dead
+	// dpmremote makes this replica self-sufficient, never broken.
+	var tiered *godpm.TieredCache
+	if o.RemoteURL != "" {
+		remote, err := godpm.NewRemoteCache(godpm.RemoteCacheOptions{
+			BaseURL: o.RemoteURL,
+			Timeout: o.RemoteTimeout,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tiered = godpm.NewTieredCache(
+			godpm.CacheTier{Name: "local", Cache: cache},
+			godpm.CacheTier{Name: godpm.TierRemote, Cache: remote, AsyncPut: true},
+		)
+		cache = tiered
+	}
 	eng := godpm.NewEngine(godpm.EngineOptions{Workers: o.Workers, Cache: cache})
 	maxInflight := o.MaxInflight
 	if maxInflight <= 0 {
@@ -206,6 +270,7 @@ func newServer(o serverOptions) (*server, error) {
 	}
 	return &server{
 		eng:         eng,
+		tiered:      tiered,
 		inflight:    make(chan struct{}, maxInflight),
 		gate:        newWorkGate(eng.Workers()),
 		maxInflight: maxInflight,
@@ -622,7 +687,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // loadgenOptions parameterises the load generator.
 type loadgenOptions struct {
-	Target      string
+	// Targets are the replica base URLs; requests round-robin across
+	// them by request index, so duplicates of one configuration land on
+	// every replica and fleet-wide dedup (via a shared dpmremote store)
+	// is actually exercised.
+	Targets     []string
 	Requests    int
 	Distinct    int
 	Concurrency int
@@ -639,25 +708,59 @@ type loadReport struct {
 	// DedupRatio is the fraction of successful requests served without a
 	// fresh simulation.
 	DedupRatio float64
-	Stats      statszResponse
+	// Stats is the first replica's snapshot; Replicas has all of them.
+	Stats    statszResponse
+	Replicas []statszResponse
+	// FleetRuns sums simulations across replicas: with a shared store,
+	// a duplicate-heavy fleet-wide stream keeps it at the number of
+	// distinct configurations.
+	FleetRuns int64
+	// RemoteHits sums the replicas' remote-tier cache hits — lookups
+	// served by the shared store, i.e. simulations some other replica
+	// ran.
+	RemoteHits int64
 }
 
 func (r loadReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"loadgen: %d requests → %d ok, %d retried (429), %d failed\n"+
-			"served without simulation: %d/%d (ratio %.3f)\n"+
-			"server: runs=%d hits=%d deduped=%d evictions=%d cache_entries=%d cache_bytes=%d\n",
+			"served without simulation: %d/%d (ratio %.3f)\n",
 		r.Requests, r.OK, r.TooMany, r.Failed,
-		r.Hits, r.OK, r.DedupRatio,
-		r.Stats.Runs, r.Stats.Hits, r.Stats.Deduped, r.Stats.Evictions,
-		r.Stats.CacheEntries, r.Stats.CacheBytes)
+		r.Hits, r.OK, r.DedupRatio)
+	for i, st := range r.Replicas {
+		s += fmt.Sprintf("replica %d: runs=%d hits=%d deduped=%d evictions=%d cache_entries=%d cache_bytes=%d%s\n",
+			i, st.Runs, st.Hits, st.Deduped, st.Evictions,
+			st.CacheEntries, st.CacheBytes, tierSummary(st.Tiers))
+	}
+	if len(r.Replicas) > 1 {
+		s += fmt.Sprintf("fleet: %d simulations across %d replicas, %d remote hits\n",
+			r.FleetRuns, len(r.Replicas), r.RemoteHits)
+	}
+	return s
 }
 
-// runLoadgen hammers target with a mixed duplicate/distinct simulate
-// stream: request i uses seed 1+i%distinct, so duplicates dominate when
-// requests ≫ distinct. 429s are retried with backoff (they are
+// tierSummary renders per-tier hit counters compactly.
+func tierSummary(tiers []godpm.TierStats) string {
+	if len(tiers) == 0 {
+		return ""
+	}
+	parts := make([]string, len(tiers))
+	for i, t := range tiers {
+		parts[i] = fmt.Sprintf("%s %d/%d", t.Tier, t.Hits, t.Hits+t.Misses)
+	}
+	return " tiers[hits/lookups]: " + strings.Join(parts, ", ")
+}
+
+// runLoadgen hammers the targets with a mixed duplicate/distinct
+// simulate stream: request i uses seed 1+i%distinct against target
+// i%len(targets), so duplicates dominate when requests ≫ distinct and
+// every replica sees every configuration when distinct and the replica
+// count are coprime. 429s are retried with backoff (they are
 // backpressure, not failures).
 func runLoadgen(o loadgenOptions) (loadReport, error) {
+	if len(o.Targets) == 0 {
+		return loadReport{}, fmt.Errorf("loadgen: no targets")
+	}
 	if o.Distinct < 1 {
 		o.Distinct = 1
 	}
@@ -680,7 +783,7 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 					Tasks:    o.Tasks,
 					Seed:     int64(1 + i%o.Distinct),
 				})
-				ok, hit, retries := postSimulate(client, o.Target, body)
+				ok, hit, retries := postSimulate(client, o.Targets[i%len(o.Targets)], body)
 				mu.Lock()
 				rep.TooMany += retries
 				if ok {
@@ -704,14 +807,26 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 	if rep.OK > 0 {
 		rep.DedupRatio = float64(rep.Hits) / float64(rep.OK)
 	}
-	resp, err := client.Get(o.Target + "/statsz")
-	if err != nil {
-		return rep, fmt.Errorf("statsz: %w", err)
+	for _, target := range o.Targets {
+		resp, err := client.Get(target + "/statsz")
+		if err != nil {
+			return rep, fmt.Errorf("statsz %s: %w", target, err)
+		}
+		var st statszResponse
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return rep, fmt.Errorf("statsz %s: %w", target, err)
+		}
+		rep.Replicas = append(rep.Replicas, st)
+		rep.FleetRuns += st.Runs
+		for _, t := range st.Tiers {
+			if t.Tier == godpm.TierRemote {
+				rep.RemoteHits += t.Hits
+			}
+		}
 	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(&rep.Stats); err != nil {
-		return rep, fmt.Errorf("statsz: %w", err)
-	}
+	rep.Stats = rep.Replicas[0]
 	return rep, nil
 }
 

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"godpm"
 )
 
 func newTestServer(t *testing.T, o serverOptions) (*server, *httptest.Server) {
@@ -419,7 +421,7 @@ func TestLoadgenDedupRatioAndBoundedCache(t *testing.T) {
 	)
 	_, ts := newTestServer(t, serverOptions{MaxInflight: 32, CacheEntries: cacheBound})
 	rep, err := runLoadgen(loadgenOptions{
-		Target:      ts.URL,
+		Targets:     []string{ts.URL},
 		Requests:    requests,
 		Distinct:    distinct,
 		Concurrency: concurrency,
@@ -440,5 +442,118 @@ func TestLoadgenDedupRatioAndBoundedCache(t *testing.T) {
 	}
 	if rep.Stats.CacheEntries > cacheBound {
 		t.Fatalf("cache grew past its bound: %d > %d", rep.Stats.CacheEntries, cacheBound)
+	}
+}
+
+// TestFleetSharedRemoteStore is the horizontal-scaling proof in-process:
+// two replicas sharing nothing but a dpmremote-protocol store run each
+// distinct configuration once fleet-wide, and the second replica's
+// lookups are served by the store.
+func TestFleetSharedRemoteStore(t *testing.T) {
+	const distinct = 5 // coprime with 2 replicas: every replica sees every seed
+
+	store := godpm.NewLRUCache(godpm.LRUOptions{})
+	blob := godpm.NewBlobServer(store, godpm.BlobServerOptions{})
+	bs := httptest.NewServer(blob)
+	defer bs.Close()
+
+	_, ts1 := newTestServer(t, serverOptions{MaxInflight: 32, RemoteURL: bs.URL})
+	_, ts2 := newTestServer(t, serverOptions{MaxInflight: 32, RemoteURL: bs.URL})
+
+	// Phase 1: warm the fleet store through replica 1 only.
+	rep, err := runLoadgen(loadgenOptions{
+		Targets: []string{ts1.URL}, Requests: 20, Distinct: distinct, Concurrency: 4, Tasks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Stats.Runs != distinct {
+		t.Fatalf("warm phase: %+v", rep)
+	}
+	// Write-behind PUTs are asynchronous; wait for them to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for blob.Stats().Store.Entries < distinct {
+		if time.Now().After(deadline) {
+			t.Fatalf("store holds %d entries, want %d", blob.Stats().Store.Entries, distinct)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Phase 2: the same stream across both replicas. Replica 2 is cold
+	// locally but must not simulate anything — the store serves it.
+	rep, err = runLoadgen(loadgenOptions{
+		Targets: []string{ts1.URL, ts2.URL}, Requests: 30, Distinct: distinct, Concurrency: 4, Tasks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("fleet phase: %d failed requests", rep.Failed)
+	}
+	if rep.FleetRuns != distinct {
+		t.Fatalf("fleet ran %d simulations for %d distinct configs across 2 replicas", rep.FleetRuns, distinct)
+	}
+	if rep.RemoteHits == 0 {
+		t.Fatalf("no remote-tier hits; the shared store served nothing:\n%s", rep.String())
+	}
+	if len(rep.Replicas) != 2 || rep.Replicas[1].Runs != 0 {
+		t.Fatalf("replica 2 simulated instead of fetching: %+v", rep.Replicas)
+	}
+}
+
+// TestFleetRemoteDownFailsOpen points a replica at a dead store: every
+// request must still succeed from local compute and local tiers.
+func TestFleetRemoteDownFailsOpen(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	_, ts := newTestServer(t, serverOptions{
+		MaxInflight: 32, RemoteURL: dead, RemoteTimeout: 200 * time.Millisecond,
+	})
+	rep, err := runLoadgen(loadgenOptions{
+		Targets: []string{ts.URL}, Requests: 24, Distinct: 4, Concurrency: 4, Tasks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("dead remote caused %d request failures, want 0:\n%s", rep.Failed, rep.String())
+	}
+	if rep.Stats.Runs != 4 {
+		t.Fatalf("server simulated %d times for 4 distinct configs", rep.Stats.Runs)
+	}
+}
+
+// TestStatszReportsTiers checks the per-tier counters surface end to
+// end: a remote-wired replica's /statsz names all three counters'
+// tiers, and the plain one reports memory only.
+func TestStatszReportsTiers(t *testing.T) {
+	store := godpm.NewLRUCache(godpm.LRUOptions{})
+	bs := httptest.NewServer(godpm.NewBlobServer(store, godpm.BlobServerOptions{}))
+	defer bs.Close()
+
+	_, ts := newTestServer(t, serverOptions{MaxInflight: 8, RemoteURL: bs.URL})
+	if resp, _ := postJSON(t, ts.URL+"/v1/simulate", slowBody(1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: status %d", resp.StatusCode)
+	}
+	tiers := make(map[string]bool)
+	for _, tier := range getStatsz(t, ts.URL).Tiers {
+		tiers[tier.Tier] = true
+	}
+	if !tiers[godpm.TierMemory] || !tiers[godpm.TierRemote] {
+		t.Fatalf("remote-wired /statsz tiers = %v, want memory and remote", tiers)
+	}
+
+	_, plain := newTestServer(t, serverOptions{MaxInflight: 8})
+	if resp, _ := postJSON(t, plain.URL+"/v1/simulate", slowBody(1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: status %d", resp.StatusCode)
+	}
+	st := getStatsz(t, plain.URL)
+	if len(st.Tiers) != 1 || st.Tiers[0].Tier != godpm.TierMemory {
+		t.Fatalf("plain /statsz tiers = %+v, want exactly one memory tier", st.Tiers)
 	}
 }

@@ -15,7 +15,11 @@
 // cmd/dpmarena CLI). The engine's cache is a sharded bounded LRU with
 // singleflight dedup (concurrent identical jobs collapse to one
 // simulation), which is what the long-running cmd/dpmserve HTTP service
-// builds on to serve simulation and tournament traffic:
+// builds on to serve simulation and tournament traffic. Caches compose
+// into tiers (NewTieredCache): memory → disk → a shared hash-addressed
+// result store served by cmd/dpmremote (NewRemoteCache speaks its
+// versioned blob protocol), so a fleet of dpmserve replicas runs each
+// distinct configuration once fleet-wide:
 //
 //	cfg := godpm.Config{
 //	    IPs:    []godpm.IPSpec{{Name: "cpu", Sequence: seq}},
@@ -31,6 +35,6 @@
 // TraceCSV fields. The implementation packages remain under internal/
 // (sim, acpi, lem, gem, battery, thermal, rules, workload, bus, soc,
 // engine, experiments), commands under cmd/ (dpmsim, dpmbatch, dpmarena,
-// dpmserve, dpmtable, dpmsweep, dpmtrace, dpmreport, dpmbench) and
-// runnable examples under examples/.
+// dpmserve, dpmremote, dpmtable, dpmsweep, dpmtrace, dpmreport, dpmbench)
+// and runnable examples under examples/.
 package godpm

@@ -191,13 +191,82 @@ type (
 	// LRUOptions bounds an LRUCache (entry cap, approximate byte cap,
 	// shard count).
 	LRUOptions = engine.LRUOptions
+	// DiskCache is the directory-backed result cache (bounded memory
+	// front + one JSON file per fingerprint). It also serves as the
+	// store behind a BlobServer.
+	DiskCache = engine.Disk
 	// DiskCacheOptions bounds a disk cache (on-disk byte cap with
 	// LRU-by-mtime GC, front-memory bounds).
 	DiskCacheOptions = engine.DiskOptions
 	// CacheStats are a cache's occupancy and eviction counters, folded
 	// into EngineStats for caches that report them.
 	CacheStats = engine.CacheStats
+	// TierStats are one cache tier's hit/miss/occupancy counters,
+	// surfaced in EngineStats.Tiers for caches that report them.
+	TierStats = engine.TierStats
 )
+
+// Distributed cache tier: a fleet of processes sharing one dpmremote
+// hash-addressed result store, so each distinct simulation happens once
+// fleet-wide.
+type (
+	// RemoteCache is a client cache tier backed by a dpmremote server.
+	// It fails open: a down, slow or corrupt remote degrades to a miss,
+	// never to a request failure.
+	RemoteCache = engine.Remote
+	// RemoteCacheOptions configures a RemoteCache (base URL, per-op
+	// timeout, retries, breaker, connection pool bound).
+	RemoteCacheOptions = engine.RemoteOptions
+	// TieredCache composes caches fastest-first with read-through
+	// promotion and write-behind Puts to async tiers.
+	TieredCache = engine.Tiered
+	// CacheTier is one layer of a TieredCache.
+	CacheTier = engine.Tier
+	// TieredCacheOptions tunes a TieredCache (write-behind queue bound,
+	// warm-up fetch concurrency).
+	TieredCacheOptions = engine.TieredOptions
+	// BlobServer is the server side of the dpmremote protocol: an
+	// http.Handler serving HEAD/GET/PUT /v1/blob/{fingerprint} and the
+	// batched POST /v1/stat over a result store.
+	BlobServer = engine.BlobServer
+	// BlobServerOptions bounds a BlobServer (max blob bytes, max stat
+	// batch).
+	BlobServerOptions = engine.BlobServerOptions
+	// BlobServerStats are a BlobServer's request counters plus store
+	// occupancy.
+	BlobServerStats = engine.BlobServerStats
+)
+
+// Tier names used in TierStats by the built-in caches.
+const (
+	TierMemory = engine.TierMemory
+	TierDisk   = engine.TierDisk
+	TierRemote = engine.TierRemote
+)
+
+// NewRemoteCache builds a client for a dpmremote shared result store,
+// usable directly as an engine cache or (canonically) as the last tier
+// of NewTieredCache.
+func NewRemoteCache(opts RemoteCacheOptions) (*RemoteCache, error) {
+	return engine.NewRemote(opts)
+}
+
+// NewTieredCache composes caches fastest-first (memory→disk→remote)
+// with read-through promotion; tiers marked AsyncPut receive stores
+// write-behind. Call Close on the result to flush the write-behind
+// queue on shutdown.
+func NewTieredCache(tiers ...CacheTier) *TieredCache { return engine.NewTiered(tiers...) }
+
+// NewTieredCacheWith composes a tiered cache with explicit options.
+func NewTieredCacheWith(opts TieredCacheOptions, tiers ...CacheTier) *TieredCache {
+	return engine.NewTieredWith(opts, tiers...)
+}
+
+// NewBlobServer builds the dpmremote protocol handler over a result
+// store (canonically a size-capped disk cache).
+func NewBlobServer(store Cache, opts BlobServerOptions) *BlobServer {
+	return engine.NewBlobServer(store, opts)
+}
 
 // NewEngine builds a batch engine (Workers == 0 means NumCPU).
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
@@ -208,10 +277,10 @@ func NewLRUCache(opts LRUOptions) *LRUCache { return engine.NewLRU(opts) }
 
 // NewDiskCache opens a directory-backed result cache for EngineOptions,
 // sweeping temp files abandoned by crashed writers.
-func NewDiskCache(dir string) (Cache, error) { return engine.NewDisk(dir) }
+func NewDiskCache(dir string) (*DiskCache, error) { return engine.NewDisk(dir) }
 
 // NewDiskCacheWith opens a disk cache with explicit bounds.
-func NewDiskCacheWith(dir string, opts DiskCacheOptions) (Cache, error) {
+func NewDiskCacheWith(dir string, opts DiskCacheOptions) (*DiskCache, error) {
 	return engine.NewDiskWith(dir, opts)
 }
 

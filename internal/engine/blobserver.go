@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"godpm/internal/soc"
+)
+
+// BlobServerOptions bounds the server side of the dpmremote protocol.
+// The zero value selects the defaults.
+type BlobServerOptions struct {
+	// MaxBlobBytes caps a PUT body; default 32 MiB. Oversized uploads
+	// are refused with 413 before touching the store.
+	MaxBlobBytes int64
+	// MaxStatKeys caps one batched stat request; default 4096. Larger
+	// batches are refused with 400 — clients chunk.
+	MaxStatKeys int
+}
+
+const defaultMaxStatKeys = 4096
+
+// BlobServerStats are the server's cumulative request counters plus the
+// backing store's occupancy.
+type BlobServerStats struct {
+	Gets       int64      `json:"gets"`
+	GetHits    int64      `json:"get_hits"`
+	Heads      int64      `json:"heads"`
+	HeadHits   int64      `json:"head_hits"`
+	Puts       int64      `json:"puts"`
+	PutRejects int64      `json:"put_rejects"`
+	StatBatch  int64      `json:"stat_batches"`
+	StatKeys   int64      `json:"stat_keys"`
+	Store      CacheStats `json:"store"`
+}
+
+// BlobServer serves the dpmremote hash-addressed protocol over a result
+// store (canonically a size-capped engine Disk cache, so admission is
+// bounded twice: per-request body caps here, total occupancy by the
+// store's LRU GC):
+//
+//	HEAD /v1/blob/{fingerprint}
+//	GET  /v1/blob/{fingerprint}
+//	PUT  /v1/blob/{fingerprint}
+//	POST /v1/stat
+//
+// Fingerprints are validated before they address the store, so request
+// paths can never escape it. PUT bodies must decode as results — an
+// undecodable upload is refused with 422 rather than stored, so one
+// misbehaving client cannot poison the fleet's shared entries.
+//
+// BlobServer is an http.Handler; liveness, stats surfacing and drain
+// orchestration belong to the embedding command (see cmd/dpmremote).
+type BlobServer struct {
+	store   Cache
+	has     func(string) bool
+	maxBlob int64
+	maxStat int
+
+	gets, getHits, heads, headHits atomic.Int64
+	puts, putRejects               atomic.Int64
+	statBatch, statKeys            atomic.Int64
+}
+
+// NewBlobServer builds the protocol handler over store.
+func NewBlobServer(store Cache, opts BlobServerOptions) *BlobServer {
+	if opts.MaxBlobBytes <= 0 {
+		opts.MaxBlobBytes = defaultMaxBlobBytes
+	}
+	if opts.MaxStatKeys <= 0 {
+		opts.MaxStatKeys = defaultMaxStatKeys
+	}
+	s := &BlobServer{store: store, maxBlob: opts.MaxBlobBytes, maxStat: opts.MaxStatKeys}
+	if h, ok := store.(haser); ok {
+		s.has = h.Has
+	} else {
+		s.has = func(key string) bool { _, ok := store.Get(key); return ok }
+	}
+	return s
+}
+
+// Stats snapshots the request counters and store occupancy.
+func (s *BlobServer) Stats() BlobServerStats {
+	st := BlobServerStats{
+		Gets:       s.gets.Load(),
+		GetHits:    s.getHits.Load(),
+		Heads:      s.heads.Load(),
+		HeadHits:   s.headHits.Load(),
+		Puts:       s.puts.Load(),
+		PutRejects: s.putRejects.Load(),
+		StatBatch:  s.statBatch.Load(),
+		StatKeys:   s.statKeys.Load(),
+	}
+	if r, ok := s.store.(StatsReporter); ok {
+		st.Store = r.CacheStats()
+	}
+	return st
+}
+
+func (s *BlobServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, blobPathPrefix):
+		key := r.URL.Path[len(blobPathPrefix):]
+		if !validKey(key) {
+			http.Error(w, "invalid fingerprint", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodHead:
+			s.handleHead(w, key)
+		case http.MethodGet:
+			s.handleGet(w, key)
+		case http.MethodPut:
+			s.handlePut(w, r, key)
+		default:
+			http.Error(w, "HEAD, GET or PUT", http.StatusMethodNotAllowed)
+		}
+	case r.URL.Path == statPath:
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleStat(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *BlobServer) handleHead(w http.ResponseWriter, key string) {
+	s.heads.Add(1)
+	if !s.has(key) {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	s.headHits.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *BlobServer) handleGet(w http.ResponseWriter, key string) {
+	s.gets.Add(1)
+	res, ok := s.store.Get(key)
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	s.getHits.Add(1)
+	data, err := json.Marshal(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Write(data)
+}
+
+func (s *BlobServer) handlePut(w http.ResponseWriter, r *http.Request, key string) {
+	s.puts.Add(1)
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBlob))
+	if err != nil {
+		s.putRejects.Add(1)
+		http.Error(w, "body exceeds max blob size", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var res soc.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		s.putRejects.Add(1)
+		http.Error(w, "body is not a result record", http.StatusUnprocessableEntity)
+		return
+	}
+	if err := s.store.Put(key, &res); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *BlobServer) handleStat(w http.ResponseWriter, r *http.Request) {
+	var req statRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBlob)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad stat body", http.StatusBadRequest)
+		return
+	}
+	if len(req.Keys) > s.maxStat {
+		http.Error(w, fmt.Sprintf("too many keys (max %d per batch)", s.maxStat), http.StatusBadRequest)
+		return
+	}
+	s.statBatch.Add(1)
+	s.statKeys.Add(int64(len(req.Keys)))
+	resp := statResponse{Present: make([]string, 0, len(req.Keys))}
+	for _, k := range req.Keys {
+		if validKey(k) && s.has(k) {
+			resp.Present = append(resp.Present, k)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -3,10 +3,12 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"godpm/internal/soc"
@@ -65,6 +67,13 @@ type DiskOptions struct {
 type Disk struct {
 	dir string
 	mem *LRU
+
+	diskHits, diskMisses atomic.Int64
+	// touchBroken latches after the first failed mtime refresh (e.g. a
+	// read-only cache directory): recency tracking degrades to write
+	// order, logged once, and hits keep being served without paying a
+	// doomed Chtimes per Get.
+	touchBroken atomic.Bool
 
 	gcMu      sync.Mutex
 	bytes     int64 // approximate total size of *.json payloads
@@ -134,6 +143,7 @@ func (c *Disk) Get(key string) (*soc.Result, bool) {
 	path := c.path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
+		c.diskMisses.Add(1)
 		return nil, false
 	}
 	var r soc.Result
@@ -142,15 +152,42 @@ func (c *Disk) Get(key string) (*soc.Result, bool) {
 		// so the next Put heals the slot instead of the key re-missing
 		// every process lifetime.
 		c.remove(path, int64(len(data)))
+		c.diskMisses.Add(1)
 		return nil, false
 	}
-	// Refresh the mtime so the size-cap GC's recency order reflects
-	// access, not just write order (a hit loads from disk at most once
-	// per process lifetime — after this the front memory serves it).
-	now := time.Now()
-	_ = os.Chtimes(path, now, now)
+	c.touch(path)
+	c.diskHits.Add(1)
 	c.mem.Put(key, &r)
 	return &r, true
+}
+
+// touch refreshes the entry's mtime so the size-cap GC's recency order
+// reflects access, not just write order (a hit loads from disk at most
+// once per process lifetime — after this the front memory serves it).
+// A failing touch (read-only directory, exotic filesystem) is a
+// degraded recency signal, not a degraded cache: log it once, stop
+// retrying, and keep serving hits.
+func (c *Disk) touch(path string) {
+	if c.touchBroken.Load() {
+		return
+	}
+	now := time.Now()
+	if err := os.Chtimes(path, now, now); err != nil {
+		if c.touchBroken.CompareAndSwap(false, true) {
+			log.Printf("engine: disk cache %s: mtime refresh failed (%v); eviction recency degrades to write order", c.dir, err)
+		}
+	}
+}
+
+// Has probes for key in memory or on disk without loading, decoding or
+// promoting the entry — the side-effect-free existence check the blob
+// server's HEAD/stat endpoints and warm-up use.
+func (c *Disk) Has(key string) bool {
+	if c.mem.Has(key) {
+		return true
+	}
+	_, err := os.Stat(c.path(key))
+	return err == nil
 }
 
 // Put stores a result in memory and on disk, then enforces the size cap.
@@ -266,4 +303,22 @@ func (c *Disk) CacheStats() CacheStats {
 	c.gcMu.Lock()
 	defer c.gcMu.Unlock()
 	return CacheStats{Entries: c.entries, Bytes: c.bytes, Evictions: c.evictions + memEvictions}
+}
+
+// TierStats splits the layered counters: the front memory and the
+// persistent files report as separate tiers (the disk tier's evictions
+// are the size-cap GC's alone; CacheStats sums both layers).
+func (c *Disk) TierStats() []TierStats {
+	ts := c.mem.TierStats()
+	c.gcMu.Lock()
+	disk := TierStats{
+		Tier:      TierDisk,
+		Hits:      c.diskHits.Load(),
+		Misses:    c.diskMisses.Load(),
+		Entries:   c.entries,
+		Bytes:     c.bytes,
+		Evictions: c.evictions,
+	}
+	c.gcMu.Unlock()
+	return append(ts, disk)
 }

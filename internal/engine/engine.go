@@ -83,6 +83,12 @@ type Stats struct {
 	Evictions    int64 `json:"evictions"`
 	CacheEntries int64 `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
+	// Tiers splits the cache counters per tier (memory/disk/remote hits
+	// and misses) when the cache reports them (see TierStatsReporter);
+	// nil otherwise. This is how fleet-wide dedup is observed rather
+	// than inferred: remote-tier hits are simulations another process
+	// ran.
+	Tiers []TierStats `json:"tiers,omitempty"`
 }
 
 // Engine runs plans. It is safe for concurrent use; counters and cache
@@ -134,6 +140,9 @@ func (e *Engine) Stats() Stats {
 		st.CacheEntries = cs.Entries
 		st.CacheBytes = cs.Bytes
 	}
+	if r, ok := e.cache.(TierStatsReporter); ok {
+		st.Tiers = r.TierStats()
+	}
 	return st
 }
 
@@ -149,6 +158,7 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) Run(ctx context.Context, plan Plan) ([]JobResult, error) {
 	n := len(plan.Jobs)
 	results := make([]JobResult, n)
+	e.warm(ctx, plan)
 
 	workers := e.workers
 	if workers > n {
@@ -206,6 +216,41 @@ feed:
 	return results, errors.Join(errs...)
 }
 
+// warm pre-populates a Warmer cache (a Tiered one with a remote tier)
+// with the plan's distinct fingerprints before dispatch: one batched
+// stat against the shared store replaces per-job remote round-trips,
+// and every entry the fleet already computed arrives in the local tiers
+// before a worker would have simulated it. Single-job plans skip it —
+// the per-job Get covers them.
+func (e *Engine) warm(ctx context.Context, plan Plan) {
+	if len(plan.Jobs) < 2 || e.cache == nil {
+		return
+	}
+	w, ok := e.cache.(Warmer)
+	if !ok {
+		return
+	}
+	seen := make(map[string]struct{}, len(plan.Jobs))
+	keys := make([]string, 0, len(plan.Jobs))
+	for _, job := range plan.Jobs {
+		if job.Options.Volatile() {
+			continue
+		}
+		k, err := jobKey(job)
+		if err != nil {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	if len(keys) > 0 {
+		w.Warm(ctx, keys)
+	}
+}
+
 // runJob executes one job: fingerprint, cache probe, singleflight join,
 // simulate, store. Concurrent jobs with the same key collapse to one
 // simulation — the waiters are served the winner's result as cache hits,
@@ -240,7 +285,11 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 		return jr
 	}
 	for {
-		if r, ok := e.cache.Get(jr.Key); ok {
+		// The pre-flight probe skips expensive remote tiers when the cache
+		// distinguishes them: a stampede of identical jobs then costs one
+		// network round-trip (the flight leader's full probe below), not
+		// one per job.
+		if r, ok := e.probe(jr.Key, true); ok {
 			e.hits.Add(1)
 			jr.Result, jr.CacheHit = r, true
 			return jr
@@ -270,8 +319,9 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 			}
 		}
 		// Leader. A sibling may have populated the cache between our miss
-		// and the join; re-probe before paying for a simulation.
-		if r, ok := e.cache.Get(jr.Key); ok {
+		// and the join; re-probe — this time through every tier, remote
+		// included — before paying for a simulation.
+		if r, ok := e.probe(jr.Key, false); ok {
 			e.flights.finish(jr.Key, f, r, nil)
 			e.hits.Add(1)
 			jr.Result, jr.CacheHit = r, true
@@ -292,6 +342,17 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 		jr.Result, jr.Err = r, runErr
 		return jr
 	}
+}
+
+// probe looks the key up in the cache; localOnly restricts the lookup
+// to the cheap local tiers when the cache can tell them apart.
+func (e *Engine) probe(key string, localOnly bool) (*soc.Result, bool) {
+	if localOnly {
+		if lp, ok := e.cache.(localProber); ok {
+			return lp.GetLocal(key)
+		}
+	}
+	return e.cache.Get(key)
 }
 
 // countFailure books a failed job under Canceled or Errors.

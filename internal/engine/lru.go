@@ -48,8 +48,9 @@ const (
 // Results handed out by Get are shared with every other caller of the
 // same key — treat them as immutable.
 type LRU struct {
-	shards    []lruShard
-	evictions atomic.Int64
+	shards       []lruShard
+	evictions    atomic.Int64
+	hits, misses atomic.Int64
 }
 
 type lruShard struct {
@@ -162,10 +163,22 @@ func (c *LRU) Get(key string) (*soc.Result, bool) {
 	defer s.mu.Unlock()
 	e, ok := s.m[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	s.moveToFront(e)
 	return e.r, true
+}
+
+// Has probes for key without promoting it or touching the hit/miss
+// counters — the side-effect-free existence check warm-up uses.
+func (c *LRU) Has(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[key]
+	return ok
 }
 
 // Put stores a result, evicting least-recently-used entries if the
@@ -216,6 +229,19 @@ func (c *LRU) CacheStats() CacheStats {
 		s.mu.Unlock()
 	}
 	return st
+}
+
+// TierStats reports the cache as one memory tier.
+func (c *LRU) TierStats() []TierStats {
+	cs := c.CacheStats()
+	return []TierStats{{
+		Tier:      TierMemory,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Entries:   cs.Entries,
+		Bytes:     cs.Bytes,
+		Evictions: cs.Evictions,
+	}}
 }
 
 func (s *lruShard) pushFront(e *lruEntry) {

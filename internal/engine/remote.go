@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"godpm/internal/soc"
+)
+
+// The dpmremote wire protocol, shared by this client and BlobServer:
+//
+//	HEAD /v1/blob/{fingerprint}   →  200 | 404
+//	GET  /v1/blob/{fingerprint}   →  200 (JSON soc.Result) | 404
+//	PUT  /v1/blob/{fingerprint}   →  204 | 400/413/422
+//	POST /v1/stat {"keys":[...]}  →  200 {"present":[...]}
+//
+// Fingerprints are the engine's cache keys (lowercase SHA-256 hex), so
+// the protocol is content-addressed: a PUT can never overwrite an entry
+// with a result for a different configuration, and concurrent writers
+// racing on one key are idempotent.
+const (
+	blobPathPrefix = "/v1/blob/"
+	statPath       = "/v1/stat"
+)
+
+// statRequest is the batched existence probe's body.
+type statRequest struct {
+	Keys []string `json:"keys"`
+}
+
+// statResponse lists which of the requested keys the store holds.
+type statResponse struct {
+	Present []string `json:"present"`
+}
+
+// validKey reports whether key is a plausible content fingerprint:
+// lowercase hex, bounded length. Both sides enforce it — the server so
+// arbitrary paths can't address its store, the client so it never emits
+// a request the server will reject.
+func validKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if (b < '0' || b > '9') && (b < 'a' || b > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoteOptions configures a Remote cache client. The zero value (plus
+// BaseURL) selects the documented defaults.
+type RemoteOptions struct {
+	// BaseURL is the dpmremote server root, e.g. "http://10.0.0.5:8081".
+	BaseURL string
+	// Timeout bounds each attempt of each operation; default 2s. Keep it
+	// small: a slow remote should lose to re-simulating locally, not
+	// stall the request.
+	Timeout time.Duration
+	// Retries is how many extra attempts transient failures (network
+	// errors, 5xx, 429) get before the operation fails open; default 2.
+	Retries int
+	// RetryBackoff is the first retry's delay, doubled per attempt;
+	// default 50ms.
+	RetryBackoff time.Duration
+	// MaxConns bounds the connection pool to the server; default 32.
+	MaxConns int
+	// FailureThreshold is how many consecutive failed operations trip
+	// the breaker; default 5.
+	FailureThreshold int
+	// Cooldown is how long a tripped breaker skips the remote before
+	// probing it again; default 2s.
+	Cooldown time.Duration
+	// MaxBlobBytes bounds a GET response body; default 32 MiB.
+	MaxBlobBytes int64
+	// Logf, when non-nil, receives one line per breaker trip/recovery
+	// (e.g. log.Printf). The client is otherwise silent.
+	Logf func(format string, args ...any)
+}
+
+const (
+	defaultRemoteTimeout   = 2 * time.Second
+	defaultRemoteRetries   = 2
+	defaultRemoteBackoff   = 50 * time.Millisecond
+	defaultRemoteMaxConns  = 32
+	defaultRemoteThreshold = 5
+	defaultRemoteCooldown  = 2 * time.Second
+	defaultMaxBlobBytes    = 32 << 20
+	statChunkSize          = 1024
+)
+
+// Remote is a client-side cache tier backed by a dpmremote server: a
+// shared hash-addressed result store that lets a fleet of processes
+// deduplicate simulations fleet-wide. It implements Cache with strict
+// fail-open semantics — a down, slow or corrupt remote turns Gets into
+// misses and Puts into no-ops, never into request failures — so it is
+// always safe to layer behind local tiers (see Tiered).
+//
+// Failure handling: each operation retries transient errors with
+// exponential backoff; after FailureThreshold consecutive failed
+// operations a breaker trips and the remote is skipped entirely for
+// Cooldown, so a dead server costs one connection attempt per cooldown
+// window instead of per lookup. A response that fails to decode counts
+// as an error and a miss — corrupt remote bytes are never handed to
+// callers, so they can never poison a local tier through promotion.
+type Remote struct {
+	base   string
+	client *http.Client
+
+	timeout   time.Duration
+	retries   int
+	backoff   time.Duration
+	threshold int64
+	cooldown  time.Duration
+	maxBlob   int64
+	logf      func(format string, args ...any)
+
+	hits, misses, errors atomic.Int64
+	puts, putErrs        atomic.Int64
+	skipped, trips       atomic.Int64
+	fails                atomic.Int64 // consecutive op failures
+	downUntil            atomic.Int64 // unix nanos the breaker stays open until
+}
+
+// NewRemote builds a remote cache client for a dpmremote server.
+func NewRemote(opts RemoteOptions) (*Remote, error) {
+	u, err := url.Parse(opts.BaseURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("engine: remote cache: invalid base URL %q", opts.BaseURL)
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = defaultRemoteTimeout
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = defaultRemoteRetries
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = defaultRemoteBackoff
+	}
+	if opts.MaxConns <= 0 {
+		opts.MaxConns = defaultRemoteMaxConns
+	}
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = defaultRemoteThreshold
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = defaultRemoteCooldown
+	}
+	if opts.MaxBlobBytes <= 0 {
+		opts.MaxBlobBytes = defaultMaxBlobBytes
+	}
+	transport := &http.Transport{
+		MaxConnsPerHost:     opts.MaxConns,
+		MaxIdleConnsPerHost: opts.MaxConns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Remote{
+		base:      strings.TrimRight(opts.BaseURL, "/"),
+		client:    &http.Client{Transport: transport},
+		timeout:   opts.Timeout,
+		retries:   opts.Retries,
+		backoff:   opts.RetryBackoff,
+		threshold: int64(opts.FailureThreshold),
+		cooldown:  opts.Cooldown,
+		maxBlob:   opts.MaxBlobBytes,
+		logf:      opts.Logf,
+	}, nil
+}
+
+// admit reports whether the breaker allows an operation right now.
+func (c *Remote) admit() bool {
+	return time.Now().UnixNano() >= c.downUntil.Load()
+}
+
+// opOK resets the consecutive-failure count after a successful op.
+func (c *Remote) opOK() {
+	if c.fails.Swap(0) >= c.threshold && c.logf != nil {
+		c.logf("remote cache %s: recovered", c.base)
+	}
+}
+
+// opFailed books one failed op; crossing the threshold trips the
+// breaker for a cooldown window.
+func (c *Remote) opFailed() {
+	if c.fails.Add(1) == c.threshold {
+		c.downUntil.Store(time.Now().Add(c.cooldown).UnixNano())
+		c.trips.Add(1)
+		if c.logf != nil {
+			c.logf("remote cache %s: unreachable, skipping for %s", c.base, c.cooldown)
+		}
+	}
+}
+
+// transientStatus reports whether an HTTP status is worth retrying.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retry runs op up to 1+Retries times with exponential backoff, giving
+// each attempt its own deadline. op returns (done, err): done stops the
+// retry loop regardless of err (e.g. a definitive 404).
+func (c *Remote) retry(op func(ctx context.Context) (bool, error)) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		var done bool
+		done, err = op(ctx)
+		cancel()
+		if done || err == nil {
+			return err
+		}
+		if attempt >= c.retries {
+			return err
+		}
+		time.Sleep(c.backoff << attempt)
+	}
+}
+
+// Get fetches the result for key from the remote store. Any failure —
+// network, server error, oversized or undecodable body — is a miss.
+func (c *Remote) Get(key string) (*soc.Result, bool) {
+	if !validKey(key) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	if !c.admit() {
+		c.skipped.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	var (
+		data     []byte
+		notFound bool
+	)
+	err := c.retry(func(ctx context.Context) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+blobPathPrefix+key, nil)
+		if err != nil {
+			return true, err
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return false, err
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			data, err = io.ReadAll(io.LimitReader(resp.Body, c.maxBlob+1))
+			if err != nil {
+				return false, err
+			}
+			if int64(len(data)) > c.maxBlob {
+				return true, fmt.Errorf("blob for %s exceeds %d bytes", key, c.maxBlob)
+			}
+			return true, nil
+		case resp.StatusCode == http.StatusNotFound:
+			io.Copy(io.Discard, resp.Body)
+			notFound = true
+			return true, nil
+		default:
+			io.Copy(io.Discard, resp.Body)
+			err = fmt.Errorf("GET %s: status %d", key, resp.StatusCode)
+			return !transientStatus(resp.StatusCode), err
+		}
+	})
+	if err != nil {
+		c.opFailed()
+		c.errors.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.opOK()
+	if notFound {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var r soc.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		// Corrupt remote bytes: counted, dropped, never returned — so a
+		// caller promoting remote hits into local tiers cannot be
+		// poisoned by a bad server entry.
+		c.errors.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return &r, true
+}
+
+// Put stores a result in the remote store. Failures are counted and
+// swallowed into the returned error; callers (Tiered write-behind, the
+// engine) treat a failed Put as a lost replication opportunity, not a
+// job failure.
+func (c *Remote) Put(key string, r *soc.Result) error {
+	if !validKey(key) {
+		return fmt.Errorf("engine: remote cache: invalid key %q", key)
+	}
+	if !c.admit() {
+		c.skipped.Add(1)
+		return nil
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("engine: remote cache: encode result: %w", err)
+	}
+	c.puts.Add(1)
+	err = c.retry(func(ctx context.Context) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+blobPathPrefix+key, bytes.NewReader(data))
+		if err != nil {
+			return true, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return false, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return true, nil
+		}
+		err = fmt.Errorf("PUT %s: status %d", key, resp.StatusCode)
+		return !transientStatus(resp.StatusCode), err
+	})
+	if err != nil {
+		c.opFailed()
+		c.putErrs.Add(1)
+		return fmt.Errorf("engine: remote cache: %w", err)
+	}
+	c.opOK()
+	return nil
+}
+
+// Stat asks the store which of the keys it holds, batched (one POST per
+// statChunkSize keys). It is the plan warm-up primitive: one round-trip
+// replaces len(keys) HEADs. Fails open with the error; the result maps
+// only present keys to true.
+func (c *Remote) Stat(ctx context.Context, keys []string) (map[string]bool, error) {
+	if !c.admit() {
+		c.skipped.Add(1)
+		return nil, fmt.Errorf("engine: remote cache: breaker open")
+	}
+	present := make(map[string]bool, len(keys))
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > statChunkSize {
+			chunk = chunk[:statChunkSize]
+		}
+		keys = keys[len(chunk):]
+		body, err := json.Marshal(statRequest{Keys: chunk})
+		if err != nil {
+			return nil, err
+		}
+		reqCtx, cancel := context.WithTimeout(ctx, c.timeout)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.base+statPath, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			cancel()
+			c.opFailed()
+			c.errors.Add(1)
+			return nil, fmt.Errorf("engine: remote cache: stat: %w", err)
+		}
+		var sr statResponse
+		err = json.NewDecoder(io.LimitReader(resp.Body, c.maxBlob)).Decode(&sr)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			c.opFailed()
+			c.errors.Add(1)
+			return nil, fmt.Errorf("engine: remote cache: stat: status %d, %v", resp.StatusCode, err)
+		}
+		for _, k := range sr.Present {
+			present[k] = true
+		}
+	}
+	c.opOK()
+	return present, nil
+}
+
+// Has probes without fetching (a single HEAD; no retry — it is an
+// optimisation, not a correctness path).
+func (c *Remote) Has(key string) bool {
+	if !validKey(key) || !c.admit() {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.base+blobPathPrefix+key, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.opFailed()
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.opOK()
+	return resp.StatusCode == http.StatusOK
+}
+
+// CacheStats reports zero occupancy: the blobs live on the server, and
+// a client cannot cheaply know their count. Lookup counters are in
+// TierStats.
+func (c *Remote) CacheStats() CacheStats { return CacheStats{} }
+
+// TierStats reports the remote tier's lookup/transport counters.
+func (c *Remote) TierStats() []TierStats {
+	return []TierStats{{
+		Tier:   TierRemote,
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Errors: c.errors.Load() + c.putErrs.Load(),
+		Puts:   c.puts.Load(),
+	}}
+}
+
+// Skipped counts operations the open breaker short-circuited; Trips
+// counts how many times the breaker opened.
+func (c *Remote) Skipped() int64 { return c.skipped.Load() }
+
+// Trips counts breaker openings.
+func (c *Remote) Trips() int64 { return c.trips.Load() }
