@@ -54,6 +54,8 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 256, "max concurrent requests before 429")
 		drainGrace  = flag.Duration("drain-grace", 2*time.Second, "healthz-503 window before the listener closes")
 		drainTO     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after the grace window")
+		fsync       = flag.Bool("fsync", true, "crash-consistent store writes (fsync payload before rename, directory after)")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "inject a deterministic fault schedule into the store's filesystem (0 = off; testing only)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -68,6 +70,8 @@ func main() {
 		MemBytes:    *memBytes,
 		MaxBlob:     *maxBlob,
 		MaxInflight: *maxInflight,
+		Sync:        *fsync,
+		ChaosSeed:   *chaosSeed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -123,6 +127,13 @@ type serverOptions struct {
 	MemBytes    int64
 	MaxBlob     int64
 	MaxInflight int
+	// Sync selects crash-consistent store writes; recommended (and the
+	// flag default) for a store a whole fleet depends on.
+	Sync bool
+	// ChaosSeed, when non-zero, injects the seed's deterministic fault
+	// schedule into the store's filesystem writes — torn writes and
+	// transient errors the protocol must absorb. Testing only.
+	ChaosSeed uint64
 }
 
 // server wraps the protocol handler with admission control and the
@@ -136,10 +147,17 @@ type server struct {
 }
 
 func newServer(o serverOptions) (*server, error) {
-	store, err := godpm.NewDiskCacheWith(o.StoreDir, godpm.DiskCacheOptions{
+	opts := godpm.DiskCacheOptions{
 		MaxBytes: o.DiskBytes,
 		Memory:   godpm.LRUOptions{MaxEntries: o.MemEntries, MaxBytes: o.MemBytes},
-	})
+		Sync:     o.Sync,
+	}
+	if o.ChaosSeed != 0 {
+		plan := godpm.DefaultChaosPlan(godpm.NewSeed(o.ChaosSeed))
+		opts.FS = plan.WrapFS(godpm.OSCacheFS)
+		log.Printf("chaos: injecting fault schedule %s (seed %d) into store filesystem", plan.Hash()[:12], o.ChaosSeed)
+	}
+	store, err := godpm.NewDiskCacheWith(o.StoreDir, opts)
 	if err != nil {
 		return nil, err
 	}

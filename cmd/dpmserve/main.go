@@ -59,6 +59,7 @@ func main() {
 		remoteURL    = flag.String("remote-url", "", "dpmremote shared result store base URL ('' = local tiers only)")
 		remoteTO     = flag.Duration("remote-timeout", 2*time.Second, "per-operation remote store timeout")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent requests before 429 (0 = 4×workers)")
+		chaosSeed    = flag.Uint64("chaos-seed", 0, "inject a deterministic fault schedule into the cache tiers and remote transport (0 = off; testing only)")
 		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "healthz-503 window before the listener closes (lets load balancers stop routing)")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after the grace window")
 
@@ -103,6 +104,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "loadgen: %d requests failed\n", rep.Failed)
 			fail = true
 		}
+		if rep.Poisoned > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: %d poisoned responses (digest mismatch for an already-seen key)\n", rep.Poisoned)
+			fail = true
+		}
 		if *assertDedup >= 0 && rep.DedupRatio < *assertDedup {
 			fmt.Fprintf(os.Stderr, "assert-dedup: ratio %.3f < %.3f\n", rep.DedupRatio, *assertDedup)
 			fail = true
@@ -139,6 +144,7 @@ func main() {
 		RemoteURL:     *remoteURL,
 		RemoteTimeout: *remoteTO,
 		MaxInflight:   *maxInflight,
+		ChaosSeed:     *chaosSeed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -206,6 +212,11 @@ type serverOptions struct {
 	RemoteURL     string
 	RemoteTimeout time.Duration
 	MaxInflight   int
+	// ChaosSeed, when non-zero, wraps the local cache and the remote
+	// transport in the seed's deterministic fault schedule, so the
+	// fail-open and anti-poisoning guarantees can be exercised against a
+	// live replica. Testing only.
+	ChaosSeed uint64
 }
 
 // server is the HTTP serving layer over one shared engine. The engine's
@@ -244,16 +255,29 @@ func newServer(o serverOptions) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The chaos seams: faults injected above the local cache (misses and
+	// put errors) and inside the remote transport (latency, flapping,
+	// corrupt and truncated bodies). The engine must shrug all of it off.
+	var plan godpm.ChaosPlan
+	if o.ChaosSeed != 0 {
+		plan = godpm.DefaultChaosPlan(godpm.NewSeed(o.ChaosSeed))
+		cache = plan.WrapCache(cache)
+		log.Printf("chaos: injecting fault schedule %s (seed %d) into cache and transport", plan.Hash()[:12], o.ChaosSeed)
+	}
 	// A remote store layers behind the local tiers: read-through with
 	// promotion, write-behind PUTs, and fail-open degradation — a dead
 	// dpmremote makes this replica self-sufficient, never broken.
 	var tiered *godpm.TieredCache
 	if o.RemoteURL != "" {
-		remote, err := godpm.NewRemoteCache(godpm.RemoteCacheOptions{
+		ropts := godpm.RemoteCacheOptions{
 			BaseURL: o.RemoteURL,
 			Timeout: o.RemoteTimeout,
 			Logf:    log.Printf,
-		})
+		}
+		if o.ChaosSeed != 0 {
+			ropts.WrapTransport = plan.WrapTransport
+		}
+		remote, err := godpm.NewRemoteCache(ropts)
 		if err != nil {
 			return nil, err
 		}
@@ -403,6 +427,10 @@ type simulateResponse struct {
 	TasksDone int     `json:"tasks_done"`
 	Completed bool    `json:"completed"`
 	FinalSoC  float64 `json:"final_soc"`
+	// Digest is the result's content hash — clients (and the load
+	// generator) can cross-check that every replica serves byte-identical
+	// measurements for the same key.
+	Digest string `json:"digest"`
 }
 
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -455,6 +483,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		TasksDone: res.TasksDone,
 		Completed: res.Completed,
 		FinalSoC:  res.FinalSoC,
+		Digest:    godpm.ResultDigest(res),
 	})
 }
 
@@ -705,6 +734,11 @@ type loadReport struct {
 	TooMany  int // 429 responses (retried)
 	Failed   int
 	Hits     int // responses served from cache/dedup
+	// Poisoned counts responses whose digest contradicted an earlier
+	// response for the same key — a corrupt result reached a client.
+	// Always a failure; there is no threshold flag because the only
+	// acceptable value is zero.
+	Poisoned int
 	// DedupRatio is the fraction of successful requests served without a
 	// fresh simulation.
 	DedupRatio float64
@@ -772,6 +806,10 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	// First-seen digest per key: every replica must serve byte-identical
+	// measurements for the same configuration, chaos or not. A mismatch
+	// means a poisoned result reached a client.
+	seen := make(map[string]string)
 	next := make(chan int)
 	for w := 0; w < o.Concurrency; w++ {
 		wg.Add(1)
@@ -783,13 +821,18 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 					Tasks:    o.Tasks,
 					Seed:     int64(1 + i%o.Distinct),
 				})
-				ok, hit, retries := postSimulate(client, o.Targets[i%len(o.Targets)], body)
+				ok, hit, retries, key, digest := postSimulate(client, o.Targets[i%len(o.Targets)], body)
 				mu.Lock()
 				rep.TooMany += retries
 				if ok {
 					rep.OK++
 					if hit {
 						rep.Hits++
+					}
+					if prev, dup := seen[key]; dup && prev != digest {
+						rep.Poisoned++
+					} else if !dup {
+						seen[key] = digest
 					}
 				} else {
 					rep.Failed++
@@ -831,13 +874,14 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 }
 
 // postSimulate sends one simulate request, retrying 429 backpressure.
-// It returns success, whether the response was cache-served, and how
-// many 429s it absorbed.
-func postSimulate(client *http.Client, target string, body []byte) (ok, hit bool, retries int) {
+// It returns success, whether the response was cache-served, how many
+// 429s it absorbed, and the response's key and content digest (for the
+// cross-replica consistency check).
+func postSimulate(client *http.Client, target string, body []byte) (ok, hit bool, retries int, key, digest string) {
 	for attempt := 0; attempt < 50; attempt++ {
 		resp, err := client.Post(target+"/v1/simulate", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return false, false, retries
+			return false, false, retries, "", ""
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			io.Copy(io.Discard, resp.Body)
@@ -850,9 +894,9 @@ func postSimulate(client *http.Client, target string, body []byte) (ok, hit bool
 		err = json.NewDecoder(resp.Body).Decode(&sr)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK || err != nil {
-			return false, false, retries
+			return false, false, retries, "", ""
 		}
-		return true, sr.CacheHit, retries
+		return true, sr.CacheHit, retries, sr.Key, sr.Digest
 	}
-	return false, false, retries
+	return false, false, retries, "", ""
 }

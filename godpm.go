@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"godpm/internal/chaos"
 	"godpm/internal/engine"
 	"godpm/internal/experiments"
 	"godpm/internal/rules"
@@ -243,6 +244,29 @@ const (
 	TierDisk   = engine.TierDisk
 	TierRemote = engine.TierRemote
 )
+
+// Deterministic fault injection: seed-driven chaos schedules for proving
+// the cache fleet's failure contracts (see internal/chaos).
+type (
+	// ChaosPlan is a complete seeded fault schedule — one ChaosSpec per
+	// seam (cache tier, HTTP transport, disk filesystem). A pure value:
+	// hashable, and two equal plans inject bit-identical schedules.
+	ChaosPlan = chaos.Plan
+	// ChaosSpec sets one seam's fault probabilities (latency, transient/
+	// permanent errors, corruption, torn writes, outage window).
+	ChaosSpec = chaos.Spec
+	// CacheFS is the filesystem seam a DiskCache's writes go through
+	// (DiskCacheOptions.FS); wrap it to inject filesystem faults.
+	CacheFS = engine.FS
+)
+
+// DefaultChaosPlan returns the stock chaos schedule the serving
+// commands' -chaos-seed flags apply.
+func DefaultChaosPlan(seed WorkloadSeed) ChaosPlan { return chaos.DefaultPlan(seed) }
+
+// OSCacheFS is the real filesystem for DiskCacheOptions.FS (the default
+// when FS is nil); chaos plans wrap it.
+var OSCacheFS CacheFS = engine.OSFS
 
 // NewRemoteCache builds a client for a dpmremote shared result store,
 // usable directly as an engine cache or (canonically) as the last tier

@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"godpm/internal/engine"
+	"godpm/internal/soc"
+	"godpm/internal/workload"
+)
+
+func mustPut(t *testing.T, dir, key string, r *soc.Result, sync bool) {
+	t.Helper()
+	d, err := engine.NewDiskWith(dir, engine.DiskOptions{Sync: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(key, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reopenGet reopens the cache directory fresh (recovery: temp sweep +
+// corrupt-entry healing on Get) and probes the slot.
+func reopenGet(t *testing.T, dir, key string) (*soc.Result, bool) {
+	t.Helper()
+	d, err := engine.NewDiskWith(dir, engine.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Get(key)
+}
+
+// TestDiskCrashPointRecovery kills a Disk.Put at every filesystem
+// operation it performs (and once right after it returned — the power
+// loss the process never sees), then reopens the directory and proves
+// the slot is the old value, the new value, or healably absent. With
+// DiskOptions.Sync the guarantee tightens: a slot that held a value is
+// never absent and never torn — old or new, nothing else.
+func TestDiskCrashPointRecovery(t *testing.T) {
+	key := fmt.Sprintf("%032x", 77)
+	oldRes := &soc.Result{EnergyJ: 1.0, TasksDone: 1, Completed: true}
+	newRes := &soc.Result{EnergyJ: 2.0, TasksDone: 2, Completed: true}
+	oldDig, newDig := engine.ResultDigest(oldRes), engine.ResultDigest(newRes)
+
+	for _, syncMode := range []bool{false, true} {
+		for _, seedN := range []uint64{1, 2, 3} {
+			seed := workload.NewSeed(seedN)
+			name := fmt.Sprintf("sync=%v/seed=%d", syncMode, seedN)
+
+			// Measure the op count of one overwriting Put on this
+			// configuration: the sweep bound.
+			probeDir := t.TempDir()
+			mustPut(t, probeDir, key, oldRes, syncMode)
+			probe := NewCrashFS(seed, -1)
+			d, err := engine.NewDiskWith(probeDir, engine.DiskOptions{Sync: syncMode, FS: probe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Put(key, newRes); err != nil {
+				t.Fatalf("%s: clean modelled Put failed: %v", name, err)
+			}
+			nOps := probe.Ops()
+			if nOps < 3 {
+				t.Fatalf("%s: implausible op count %d for a Put", name, nOps)
+			}
+
+			healedAbsent := false
+			// k == nOps is the explicit post-Put crash.
+			for k := 0; k <= nOps; k++ {
+				dir := t.TempDir()
+				mustPut(t, dir, key, oldRes, syncMode)
+				fs := NewCrashFS(seed.SplitN(k), k)
+				if k == nOps {
+					fs = NewCrashFS(seed.SplitN(k), -1)
+				}
+				d, err := engine.NewDiskWith(dir, engine.DiskOptions{Sync: syncMode, FS: fs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				putErr := d.Put(key, newRes)
+				if !fs.Crashed() {
+					fs.Crash()
+				}
+				if k < nOps && putErr == nil {
+					t.Fatalf("%s k=%d: Put survived a crash scheduled inside it", name, k)
+				}
+				if k < nOps && !errors.Is(putErr, ErrCrashed) {
+					t.Fatalf("%s k=%d: Put error %v does not wrap ErrCrashed", name, k, putErr)
+				}
+
+				got, ok := reopenGet(t, dir, key)
+				switch {
+				case ok:
+					dig := engine.ResultDigest(got)
+					if dig != oldDig && dig != newDig {
+						t.Fatalf("%s k=%d: slot holds a third value after crash", name, k)
+					}
+					if syncMode && putErr == nil && dig != newDig {
+						// Sync mode returned success: the new value must be
+						// durable, not just visible.
+						t.Fatalf("%s k=%d: synced Put acked but old value survived the crash", name, k)
+					}
+				case syncMode:
+					t.Fatalf("%s k=%d: Sync mode lost the slot entirely (torn or vanished entry)", name, k)
+				default:
+					// Unsynced mode may tear the renamed entry; recovery
+					// must have healed the slot to absent, and a Put must
+					// re-fill it.
+					healedAbsent = true
+					dh, err := engine.NewDiskWith(dir, engine.DiskOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := dh.Put(key, newRes); err != nil {
+						t.Fatalf("%s k=%d: healing Put failed: %v", name, k, err)
+					}
+					if got, ok := dh.Get(key); !ok || engine.ResultDigest(got) != newDig {
+						t.Fatalf("%s k=%d: slot did not heal after Put", name, k)
+					}
+				}
+
+				// Recovery must leave no abandoned temp files behind.
+				if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(tmps) != 0 {
+					t.Fatalf("%s k=%d: %d temp files survived recovery", name, k, len(tmps))
+				}
+			}
+			if !syncMode && !healedAbsent {
+				t.Logf("%s: no torn entry observed across %d crash points", name, nOps+1)
+			}
+		}
+	}
+}
+
+// TestCrashFSTearsUnsyncedRename: the specific hazard Sync exists for —
+// power loss right after an unsynced Put returns leaves a torn final
+// entry (healable), while a synced Put's acked value survives intact.
+func TestCrashFSTearsUnsyncedRename(t *testing.T) {
+	key := fmt.Sprintf("%032x", 5)
+	res := &soc.Result{EnergyJ: 3.5, TasksDone: 9, Completed: true}
+
+	// Find a seed whose crash flush tears the file strictly partially.
+	torn := false
+	for seedN := uint64(0); seedN < 32 && !torn; seedN++ {
+		dir := t.TempDir()
+		fs := NewCrashFS(workload.NewSeed(seedN), -1)
+		d, err := engine.NewDiskWith(dir, engine.DiskOptions{Sync: false, FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put(key, res); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash()
+		if _, ok := reopenGet(t, dir, key); !ok {
+			torn = true
+		}
+	}
+	if !torn {
+		t.Fatal("no seed in 32 tore an unsynced renamed entry; the model lost its hazard")
+	}
+
+	// Sync mode: same power loss, the acked entry is complete.
+	dir := t.TempDir()
+	fs := NewCrashFS(workload.NewSeed(0), -1)
+	d, err := engine.NewDiskWith(dir, engine.DiskOptions{Sync: true, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, ok := reopenGet(t, dir, key)
+	if !ok || engine.ResultDigest(got) != engine.ResultDigest(res) {
+		t.Fatal("synced Put's acked entry did not survive the crash")
+	}
+}
+
+// TestFaultFSTornWritesFailOpen: a torn write fails the Put, never
+// publishes a partial entry, and the slot heals on the next clean Put.
+func TestFaultFSTornWritesFailOpen(t *testing.T) {
+	dir := t.TempDir()
+	key := fmt.Sprintf("%032x", 3)
+	res := &soc.Result{EnergyJ: 4.0, Completed: true}
+
+	// Every write tears (outage forces FaultTransient; use PTorn=1 via
+	// the probability draw instead so writes tear specifically).
+	fs := NewFaultFS(engine.OSFS, workload.NewSeed(11), Spec{PTorn: 1})
+	d, err := engine.NewDiskWith(dir, engine.DiskOptions{FS: fs, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(key, res); err == nil {
+		t.Fatal("torn write did not fail the Put")
+	} else if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put error %v does not wrap ErrInjected", err)
+	}
+	if _, ok := reopenGet(t, dir, key); ok {
+		t.Fatal("a torn write published an entry")
+	}
+	if st := fs.Stats(); st.Torn == 0 {
+		t.Fatalf("stats = %+v, want torn > 0", st)
+	}
+
+	// The same directory heals with a clean writer.
+	clean, err := engine.NewDiskWith(dir, engine.DiskOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := reopenGet(t, dir, key); !ok || engine.ResultDigest(got) != engine.ResultDigest(res) {
+		t.Fatal("slot did not heal")
+	}
+}

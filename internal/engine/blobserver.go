@@ -36,6 +36,9 @@ type BlobServerStats struct {
 	StatBatch  int64      `json:"stat_batches"`
 	StatKeys   int64      `json:"stat_keys"`
 	Store      CacheStats `json:"store"`
+	// Tiers splits the store's counters per layer when it reports them
+	// (the canonical Disk store reports memory front + files).
+	Tiers []TierStats `json:"tiers,omitempty"`
 }
 
 // BlobServer serves the dpmremote hash-addressed protocol over a result
@@ -98,6 +101,9 @@ func (s *BlobServer) Stats() BlobServerStats {
 	if r, ok := s.store.(StatsReporter); ok {
 		st.Store = r.CacheStats()
 	}
+	if r, ok := s.store.(TierStatsReporter); ok {
+		st.Tiers = r.TierStats()
+	}
 	return st
 }
 
@@ -155,6 +161,10 @@ func (s *BlobServer) handleGet(w http.ResponseWriter, key string) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	// The digest lets the client verify the body end-to-end: a flipped
+	// byte in flight that still decodes as JSON is caught at the client
+	// instead of promoted into its local tiers.
+	w.Header().Set(digestHeader, ResultDigest(res))
 	w.Write(data)
 }
 
@@ -170,6 +180,14 @@ func (s *BlobServer) handlePut(w http.ResponseWriter, r *http.Request, key strin
 	if err := json.Unmarshal(data, &res); err != nil {
 		s.putRejects.Add(1)
 		http.Error(w, "body is not a result record", http.StatusUnprocessableEntity)
+		return
+	}
+	// When the uploader claims a digest, hold the decoded body to it: an
+	// upload corrupted in flight is refused here instead of stored as a
+	// poisoned entry the whole fleet would then share.
+	if claimed := r.Header.Get(digestHeader); claimed != "" && ResultDigest(&res) != claimed {
+		s.putRejects.Add(1)
+		http.Error(w, "body does not match claimed digest", http.StatusUnprocessableEntity)
 		return
 	}
 	if err := s.store.Put(key, &res); err != nil {

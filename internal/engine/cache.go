@@ -42,7 +42,7 @@ type StatsReporter interface {
 }
 
 // DiskOptions bounds a disk cache. The zero value means: default
-// front-memory bounds, no on-disk size cap.
+// front-memory bounds, no on-disk size cap, no fsync, real filesystem.
 type DiskOptions struct {
 	// MaxBytes caps the total size of the cached *.json payloads; when an
 	// insert overflows it, the least-recently-modified entries are
@@ -52,6 +52,19 @@ type DiskOptions struct {
 	// Memory bounds the in-process front cache (see LRUOptions); the
 	// zero value selects the LRU defaults.
 	Memory LRUOptions
+	// Sync makes Put crash-consistent against power loss, not just
+	// process death: the temp file is fsynced before the atomic rename
+	// publishes it (so a crash can never expose a torn final entry) and
+	// the directory is fsynced after (so a completed rename is durable).
+	// Without Sync a crash at the wrong moment can leave a torn entry —
+	// still healable (Get deletes undecodable entries) but a lost slot.
+	// Turn it on for shared stores (dpmremote); leave it off for
+	// per-process scratch caches where re-simulation is cheaper than an
+	// fsync per insert.
+	Sync bool
+	// FS overrides the filesystem seam Put/GC go through (fault
+	// injection, crash testing); nil means the real filesystem.
+	FS FS
 }
 
 // Disk is a directory-backed result cache: one JSON file per fingerprint.
@@ -65,8 +78,10 @@ type DiskOptions struct {
 // Get that finds a corrupt or stale-format entry deletes it so the slot
 // heals with the next Put instead of re-missing every process lifetime.
 type Disk struct {
-	dir string
-	mem *LRU
+	dir  string
+	mem  *LRU
+	fs   FS
+	sync bool
 
 	diskHits, diskMisses atomic.Int64
 	// touchBroken latches after the first failed mtime refresh (e.g. a
@@ -93,7 +108,11 @@ func NewDiskWith(dir string, opts DiskOptions) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: cache dir: %w", err)
 	}
-	c := &Disk{dir: dir, mem: NewLRU(opts.Memory), maxBytes: opts.MaxBytes}
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS
+	}
+	c := &Disk{dir: dir, mem: NewLRU(opts.Memory), fs: fs, sync: opts.Sync, maxBytes: opts.MaxBytes}
 	c.sweepTemp()
 	c.bytes, c.entries = c.scan()
 	if c.maxBytes > 0 {
@@ -116,7 +135,7 @@ func (c *Disk) sweepTemp() {
 		return
 	}
 	for _, m := range matches {
-		os.Remove(m)
+		c.fs.Remove(m)
 	}
 }
 
@@ -191,23 +210,37 @@ func (c *Disk) Has(key string) bool {
 }
 
 // Put stores a result in memory and on disk, then enforces the size cap.
+// The on-disk write is atomic (temp + rename); with DiskOptions.Sync it
+// is additionally crash-consistent: the payload is fsynced before the
+// rename publishes it, so a crash at any point leaves the slot holding
+// the old entry, the complete new entry, or nothing — never a torn file.
 func (c *Disk) Put(key string, r *soc.Result) error {
 	c.mem.Put(key, r)
 	data, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("engine: encode result: %w", err)
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	tmp, err := c.fs.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return fmt.Errorf("engine: cache write: %w", err)
 	}
+	name := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		c.fs.Remove(name)
 		return fmt.Errorf("engine: cache write: %w", err)
 	}
+	if c.sync {
+		// Data must be stable before the rename makes it addressable:
+		// rename-then-sync can expose a torn final entry after power loss.
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			c.fs.Remove(name)
+			return fmt.Errorf("engine: cache sync: %w", err)
+		}
+	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		c.fs.Remove(name)
 		return fmt.Errorf("engine: cache write: %w", err)
 	}
 	// Stat + rename + accounting happen under gcMu so a concurrent gc()
@@ -219,9 +252,9 @@ func (c *Disk) Put(key string, r *soc.Result) error {
 	if fi, err := os.Stat(path); err == nil {
 		old, existed = fi.Size(), true
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := c.fs.Rename(name, path); err != nil {
 		c.gcMu.Unlock()
-		os.Remove(tmp.Name())
+		c.fs.Remove(name)
 		return fmt.Errorf("engine: cache write: %w", err)
 	}
 	c.bytes += int64(len(data)) - old
@@ -230,6 +263,15 @@ func (c *Disk) Put(key string, r *soc.Result) error {
 	}
 	over := c.maxBytes > 0 && c.bytes > c.maxBytes
 	c.gcMu.Unlock()
+	if c.sync {
+		// The rename is data-safe already; the directory sync makes it
+		// durable. The entry is visible either way, so a failing sync
+		// degrades durability, not correctness — but report it, the
+		// caller asked for crash consistency.
+		if err := c.fs.SyncDir(c.dir); err != nil {
+			return fmt.Errorf("engine: cache sync: %w", err)
+		}
+	}
 	if over {
 		c.gc()
 	}
@@ -238,7 +280,7 @@ func (c *Disk) Put(key string, r *soc.Result) error {
 
 // remove deletes one entry file and adjusts the occupancy accounting.
 func (c *Disk) remove(path string, size int64) {
-	if os.Remove(path) == nil {
+	if c.fs.Remove(path) == nil {
 		c.gcMu.Lock()
 		c.bytes -= size
 		c.entries--
@@ -282,7 +324,7 @@ func (c *Disk) gc() {
 		if total <= target {
 			break
 		}
-		if os.Remove(e.path) == nil {
+		if c.fs.Remove(e.path) == nil {
 			total -= e.size
 			kept--
 			c.evictions++

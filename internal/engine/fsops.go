@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam the Disk cache's mutating path goes through:
+// every operation that can leave the cache directory in an intermediate
+// state (temp creation, payload writes, fsyncs, the atomic rename, entry
+// deletion) is routed here, so fault-injection harnesses can wrap the
+// real filesystem with torn writes, transient errors and crash points
+// and prove the recovery story instead of assuming it. Read paths stay
+// on the real filesystem: a reader can at worst observe a state some
+// writer legitimately produced.
+type FS interface {
+	// CreateTemp creates a new temp file in dir (os.CreateTemp pattern
+	// semantics) and returns a writable handle to it.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically moves oldpath over newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes one file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making a completed rename durable
+	// against power loss (a rename is metadata; without the directory
+	// sync it can be lost even though the file's data was fsynced).
+	SyncDir(dir string) error
+}
+
+// File is the writable handle FS.CreateTemp returns.
+type File interface {
+	io.Writer
+	// Name returns the file's path (the rename source).
+	Name() string
+	// Sync flushes the written payload to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +31,12 @@ import (
 const (
 	blobPathPrefix = "/v1/blob/"
 	statPath       = "/v1/stat"
+	// digestHeader carries the result's content digest end-to-end: the
+	// server sends it on GET responses and verifies it on PUT requests,
+	// the client verifies it on GET and claims it on PUT. It is what
+	// catches a byte flip that keeps the JSON valid — decode-level checks
+	// alone cannot.
+	digestHeader = "X-Result-Digest"
 )
 
 // statRequest is the batched existence probe's body.
@@ -83,6 +91,14 @@ type RemoteOptions struct {
 	Cooldown time.Duration
 	// MaxBlobBytes bounds a GET response body; default 32 MiB.
 	MaxBlobBytes int64
+	// JitterSeed seeds the deterministic ±20% retry-backoff jitter that
+	// keeps a fleet's retries from synchronizing; 0 derives a seed from
+	// BaseURL so distinct replicas pointing at one store still spread.
+	JitterSeed uint64
+	// WrapTransport, when non-nil, wraps the client's HTTP transport —
+	// the seam fault-injection harnesses (chaos.Plan.WrapTransport) use
+	// to corrupt, delay or fail the wire without touching the server.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
 	// Logf, when non-nil, receives one line per breaker trip/recovery
 	// (e.g. log.Printf). The client is otherwise silent.
 	Logf func(format string, args ...any)
@@ -128,8 +144,18 @@ type Remote struct {
 	hits, misses, errors atomic.Int64
 	puts, putErrs        atomic.Int64
 	skipped, trips       atomic.Int64
+	rejected             atomic.Int64 // digest-mismatched bodies dropped
 	fails                atomic.Int64 // consecutive op failures
 	downUntil            atomic.Int64 // unix nanos the breaker stays open until
+
+	// closed aborts backoff waits when the client is shut down, so a
+	// draining process never sits out a full retry schedule against a
+	// dead server.
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	jmu  sync.Mutex
+	jrng *rand.Rand // seeded backoff jitter
 }
 
 // NewRemote builds a remote cache client for a dpmremote server.
@@ -161,10 +187,17 @@ func NewRemote(opts RemoteOptions) (*Remote, error) {
 	if opts.MaxBlobBytes <= 0 {
 		opts.MaxBlobBytes = defaultMaxBlobBytes
 	}
-	transport := &http.Transport{
+	var transport http.RoundTripper = &http.Transport{
 		MaxConnsPerHost:     opts.MaxConns,
 		MaxIdleConnsPerHost: opts.MaxConns,
 		IdleConnTimeout:     90 * time.Second,
+	}
+	if opts.WrapTransport != nil {
+		transport = opts.WrapTransport(transport)
+	}
+	jseed := opts.JitterSeed
+	if jseed == 0 {
+		jseed = fnvHash(opts.BaseURL)
 	}
 	return &Remote{
 		base:      strings.TrimRight(opts.BaseURL, "/"),
@@ -176,7 +209,29 @@ func NewRemote(opts RemoteOptions) (*Remote, error) {
 		cooldown:  opts.Cooldown,
 		maxBlob:   opts.MaxBlobBytes,
 		logf:      opts.Logf,
+		closed:    make(chan struct{}),
+		jrng:      rand.New(rand.NewSource(int64(jseed))),
 	}, nil
+}
+
+// fnvHash is FNV-1a over s, for deriving a default jitter seed.
+func fnvHash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Close shuts the client down: in-progress backoff waits abort, and idle
+// pooled connections are released. Operations after Close still work —
+// they just stop retrying patiently, which is what a draining process
+// wants.
+func (c *Remote) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.client.CloseIdleConnections()
+	return nil
 }
 
 // admit reports whether the breaker allows an operation right now.
@@ -210,7 +265,11 @@ func transientStatus(code int) bool {
 
 // retry runs op up to 1+Retries times with exponential backoff, giving
 // each attempt its own deadline. op returns (done, err): done stops the
-// retry loop regardless of err (e.g. a definitive 404).
+// retry loop regardless of err (e.g. a definitive 404). Backoff waits
+// carry ±20% seeded jitter — a fleet of replicas retrying against one
+// flapping store must not synchronize into request storms — and abort
+// immediately when the client is closed, so drains never sit out the
+// full backoff schedule.
 func (c *Remote) retry(op func(ctx context.Context) (bool, error)) error {
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -224,7 +283,25 @@ func (c *Remote) retry(op func(ctx context.Context) (bool, error)) error {
 		if attempt >= c.retries {
 			return err
 		}
-		time.Sleep(c.backoff << attempt)
+		if !c.backoffWait(c.backoff << attempt) {
+			return err
+		}
+	}
+}
+
+// backoffWait sleeps d scaled by a seeded jitter factor in [0.8, 1.2),
+// returning false if the client was closed before the wait elapsed.
+func (c *Remote) backoffWait(d time.Duration) bool {
+	c.jmu.Lock()
+	f := 0.8 + 0.4*c.jrng.Float64()
+	c.jmu.Unlock()
+	t := time.NewTimer(time.Duration(float64(d) * f))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closed:
+		return false
 	}
 }
 
@@ -242,6 +319,7 @@ func (c *Remote) Get(key string) (*soc.Result, bool) {
 	}
 	var (
 		data     []byte
+		digest   string
 		notFound bool
 	)
 	err := c.retry(func(ctx context.Context) (bool, error) {
@@ -256,6 +334,7 @@ func (c *Remote) Get(key string) (*soc.Result, bool) {
 		defer resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusOK:
+			digest = resp.Header.Get(digestHeader)
 			data, err = io.ReadAll(io.LimitReader(resp.Body, c.maxBlob+1))
 			if err != nil {
 				return false, err
@@ -294,6 +373,17 @@ func (c *Remote) Get(key string) (*soc.Result, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
+	if digest != "" && ResultDigest(&r) != digest {
+		// The body decoded but does not match the digest the server
+		// vouched for: bytes were flipped in flight in a way that kept
+		// the JSON valid. Decode-level checks cannot catch this — the
+		// end-to-end digest is what makes "no poisoned result is ever
+		// served" a mechanical guarantee rather than a parsing accident.
+		c.rejected.Add(1)
+		c.errors.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
 	c.hits.Add(1)
 	return &r, true
 }
@@ -321,6 +411,9 @@ func (c *Remote) Put(key string, r *soc.Result) error {
 			return true, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		// The claimed digest lets the server refuse an upload whose bytes
+		// were corrupted in flight instead of storing it for the fleet.
+		req.Header.Set(digestHeader, ResultDigest(r))
 		resp, err := c.client.Do(req)
 		if err != nil {
 			return false, err
@@ -422,14 +515,39 @@ func (c *Remote) Has(key string) bool {
 // TierStats.
 func (c *Remote) CacheStats() CacheStats { return CacheStats{} }
 
-// TierStats reports the remote tier's lookup/transport counters.
+// BreakerState reports the circuit breaker's current condition: whether
+// it is open (skipping the remote), the consecutive-failure count
+// feeding it, and — when open — how long until the next probe.
+func (c *Remote) BreakerState() (open bool, consecutiveFails int64, retryIn time.Duration) {
+	until := c.downUntil.Load()
+	now := time.Now().UnixNano()
+	if now < until {
+		return true, c.fails.Load(), time.Duration(until - now)
+	}
+	return false, c.fails.Load(), 0
+}
+
+// TierStats reports the remote tier's lookup/transport counters plus
+// the breaker's state, so an operator reading /statsz can see not just
+// that the remote tier went quiet but why and for how long.
 func (c *Remote) TierStats() []TierStats {
+	open, fails, retryIn := c.BreakerState()
+	state := breakerClosed
+	if open {
+		state = breakerOpen
+	}
 	return []TierStats{{
-		Tier:   TierRemote,
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Errors: c.errors.Load() + c.putErrs.Load(),
-		Puts:   c.puts.Load(),
+		Tier:          TierRemote,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Errors:        c.errors.Load() + c.putErrs.Load(),
+		Puts:          c.puts.Load(),
+		Rejected:      c.rejected.Load(),
+		Breaker:       state,
+		BreakerFails:  fails,
+		BreakerTrips:  c.trips.Load(),
+		BreakerSkips:  c.skipped.Load(),
+		BreakerWaitMs: retryIn.Milliseconds(),
 	}}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -36,7 +37,26 @@ type TierStats struct {
 	Entries   int64 `json:"entries"`
 	Bytes     int64 `json:"bytes"`
 	Evictions int64 `json:"evictions"`
+	// Rejected counts responses dropped because their bytes did not match
+	// the digest the peer vouched for — corruption caught end-to-end.
+	Rejected int64 `json:"rejected,omitempty"`
+	// Breaker is the remote tier's circuit-breaker state, "open" or
+	// "closed"; empty for tiers without a breaker. The companion fields
+	// say why it is where it is: consecutive failures feeding it, how
+	// many times it has tripped, how many operations an open breaker
+	// short-circuited, and (while open) milliseconds until the next probe.
+	Breaker       string `json:"breaker,omitempty"`
+	BreakerFails  int64  `json:"breaker_fails,omitempty"`
+	BreakerTrips  int64  `json:"breaker_trips,omitempty"`
+	BreakerSkips  int64  `json:"breaker_skips,omitempty"`
+	BreakerWaitMs int64  `json:"breaker_wait_ms,omitempty"`
 }
+
+// Breaker state labels used in TierStats.Breaker.
+const (
+	breakerOpen   = "open"
+	breakerClosed = "closed"
+)
 
 // TierStatsReporter is implemented by caches that can split their
 // counters per tier; Engine.Stats surfaces the slice when present.
@@ -265,12 +285,19 @@ func (c *Tiered) Put(key string, r *soc.Result) error {
 // Promotions counts Gets served from a deeper tier and copied forward.
 func (c *Tiered) Promotions() int64 { return c.promotions.Load() }
 
-// Close flushes the write-behind queue and stops the background writer.
-// Puts after Close still reach the synchronous tiers; their write-behind
+// Close flushes the write-behind queue, stops the background writer,
+// then closes any tier cache that is itself a Closer (the Remote client
+// aborts in-flight backoff waits and releases its connections). Puts
+// after Close still reach the synchronous tiers; their write-behind
 // copies are dropped.
 func (c *Tiered) Close() error {
 	c.closeOnce.Do(func() { close(c.closed) })
 	c.wg.Wait()
+	for i := range c.tiers {
+		if cl, ok := c.tiers[i].Cache.(io.Closer); ok {
+			_ = cl.Close()
+		}
+	}
 	return nil
 }
 
