@@ -48,6 +48,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"godpm"
 )
 
 // benchFile is the JSON schema committed as BENCH_<n>.json.
@@ -60,6 +63,12 @@ type benchFile struct {
 type benchEntry struct {
 	Iterations int                `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// NsPerOp summarises the per-run ns/op samples (-count N gives N of
+	// them) through the same histogram sketch and quantile definitions
+	// as the serving layer's /statsz latency, so "p99 in the baseline"
+	// and "p99 on the dashboard" mean the same thing. Informational —
+	// gating still uses the aggregated Metrics.
+	NsPerOp *godpm.LatencySummary `json:"ns_per_op,omitempty"`
 }
 
 const schemaID = "godpm-bench-v1"
@@ -138,6 +147,14 @@ func parse(r io.Reader) (map[string]benchEntry, error) {
 		e := benchEntry{Iterations: iters[name], Metrics: make(map[string]float64, len(units))}
 		for unit, vals := range units {
 			e.Metrics[unit] = aggregate(unit, vals)
+		}
+		if vals := units["ns/op"]; len(vals) > 0 {
+			var h godpm.Histogram
+			for _, v := range vals {
+				h.RecordDuration(time.Duration(v))
+			}
+			s := godpm.LatencyOf(h.Snapshot()).LatencySummary
+			e.NsPerOp = &s
 		}
 		out[name] = e
 	}

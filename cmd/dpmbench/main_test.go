@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"godpm"
 )
 
 const sample = `goos: linux
@@ -132,5 +134,38 @@ func TestCompareAllocsOnlyGate(t *testing.T) {
 	regs, _ := compare(base, cur, 10, false)
 	if len(regs) != 1 || regs[0].unit != "allocs/op" {
 		t.Fatalf("zero-alloc contract must still gate, got %+v", regs)
+	}
+}
+
+// TestParseEmitsSharedQuantileSummary pins the /statsz-shared latency
+// summary: per-run ns/op samples flow through the same sketch and
+// quantile definitions the serving layer reports.
+func TestParseEmitsSharedQuantileSummary(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := got["BenchmarkSimSpeed/A"].NsPerOp
+	if q == nil || q.Count != 2 {
+		t.Fatalf("ns_per_op summary = %+v, want 2 samples", q)
+	}
+	// Units are the shared convention's: milliseconds. The two runs took
+	// ~1.48ms and ~1.58ms, so max must land between them and 2ms, within
+	// the sketch's relative error.
+	if q.MaxMs < 1.57 || q.MaxMs > 1.58*(1+godpm.HistRelError)+0.01 {
+		t.Fatalf("max_ms = %v, want ≈1.58", q.MaxMs)
+	}
+	if q.P50Ms <= 0 || q.P50Ms > q.MaxMs {
+		t.Fatalf("p50_ms = %v out of range (max %v)", q.P50Ms, q.MaxMs)
+	}
+
+	// A reference computed directly from the sketch matches what parse
+	// stored — same definitions, not merely similar ones.
+	var h godpm.Histogram
+	h.RecordDuration(1578713)
+	h.RecordDuration(1478713)
+	want := godpm.LatencyOf(h.Snapshot()).LatencySummary
+	if *q != want {
+		t.Fatalf("summary %+v != reference %+v", *q, want)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -115,6 +116,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
 		os.Exit(1)
 	}
+	s.close()
 	st := s.blob.Stats()
 	log.Printf("drained cleanly: %d gets (%d hits), %d puts (%d rejected), %d stat batches, store %d entries / %d bytes",
 		st.Gets, st.GetHits, st.Puts, st.PutRejects, st.StatBatch, st.Store.Entries, st.Store.Bytes)
@@ -134,6 +136,9 @@ type serverOptions struct {
 	// schedule into the store's filesystem writes — torn writes and
 	// transient errors the protocol must absorb. Testing only.
 	ChaosSeed uint64
+	// RateInterval is the rolling-rate sampling cadence (0 = 1s; tests
+	// shrink it).
+	RateInterval time.Duration
 }
 
 // server wraps the protocol handler with admission control and the
@@ -144,6 +149,11 @@ type server struct {
 	maxInflight int
 	draining    atomic.Bool
 	start       time.Time
+	// Per-endpoint-class latency sketches (same format as dpmserve's, so
+	// dpmtop merges them with the same code path).
+	latGet, latHead, latPut, latStat godpm.Histogram
+	rates                            *godpm.RateSet
+	stopRates                        func()
 }
 
 func newServer(o serverOptions) (*server, error) {
@@ -164,13 +174,29 @@ func newServer(o serverOptions) (*server, error) {
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 256
 	}
-	return &server{
+	s := &server{
 		blob:        godpm.NewBlobServer(store, godpm.BlobServerOptions{MaxBlobBytes: o.MaxBlob}),
 		inflight:    make(chan struct{}, o.MaxInflight),
 		maxInflight: o.MaxInflight,
 		start:       time.Now(),
-	}, nil
+		rates:       godpm.NewRateSet(0),
+	}
+	s.stopRates = s.rates.Sample(o.RateInterval, func() map[string]float64 {
+		st := s.blob.Stats()
+		return map[string]float64{
+			"gets":         float64(st.Gets),
+			"get_hits":     float64(st.GetHits),
+			"heads":        float64(st.Heads),
+			"puts":         float64(st.Puts),
+			"put_rejects":  float64(st.PutRejects),
+			"stat_batches": float64(st.StatBatch),
+		}
+	})
+	return s, nil
 }
+
+// close stops the background rate sampler.
+func (s *server) close() { s.stopRates() }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -182,18 +208,44 @@ func (s *server) handler() http.Handler {
 
 // admit bounds concurrent protocol requests; excess load is refused
 // with 429 and Retry-After (clients fail open to their local tiers)
-// rather than queued without bound.
+// rather than queued without bound. Admitted requests are timed into the
+// per-endpoint-class latency sketch (refusals are not — 429 is
+// backpressure, not service).
 func (s *server) admit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
+			if h := s.latFor(r); h != nil {
+				t0 := time.Now()
+				defer func() { h.RecordDuration(time.Since(t0)) }()
+			}
 			next.ServeHTTP(w, r)
 		default:
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "store saturated: max in-flight requests reached", http.StatusTooManyRequests)
 		}
 	})
+}
+
+// latFor classifies a protocol request into its latency sketch (nil for
+// requests outside the known surface).
+func (s *server) latFor(r *http.Request) *godpm.Histogram {
+	if strings.HasPrefix(r.URL.Path, "/v1/blob/") {
+		switch r.Method {
+		case http.MethodGet:
+			return &s.latGet
+		case http.MethodHead:
+			return &s.latHead
+		case http.MethodPut:
+			return &s.latPut
+		}
+		return nil
+	}
+	if r.URL.Path == "/v1/stat" {
+		return &s.latStat
+	}
+	return nil
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -207,21 +259,46 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statszResponse is the blob-server snapshot plus serving gauges.
+// statszVersion matches dpmserve's /statsz schema version: both services
+// share the version/service/start/rates/latency envelope so dpmtop can
+// aggregate them uniformly.
+const statszVersion = 2
+
+// statszResponse is the blob-server snapshot plus serving gauges,
+// rolling per-second rates, and per-endpoint-class latency.
 type statszResponse struct {
+	Version     int    `json:"version"`
+	Service     string `json:"service"`
+	StartUnixMs int64  `json:"start_unix_ms"`
 	godpm.BlobServerStats
-	Inflight    int     `json:"inflight"`
-	MaxInflight int     `json:"max_inflight"`
-	UptimeS     float64 `json:"uptime_s"`
+	Inflight    int                      `json:"inflight"`
+	MaxInflight int                      `json:"max_inflight"`
+	UptimeS     float64                  `json:"uptime_s"`
+	RatesPerS   map[string]float64       `json:"rates_per_s,omitempty"`
+	Latency     map[string]godpm.Latency `json:"latency,omitempty"`
 }
 
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, statszResponse{
+	resp := statszResponse{
+		Version:         statszVersion,
+		Service:         "dpmremote",
+		StartUnixMs:     s.start.UnixMilli(),
 		BlobServerStats: s.blob.Stats(),
 		Inflight:        len(s.inflight),
 		MaxInflight:     s.maxInflight,
 		UptimeS:         time.Since(s.start).Seconds(),
-	})
+		RatesPerS:       s.rates.Rates(),
+		Latency:         map[string]godpm.Latency{},
+	}
+	for name, h := range map[string]*godpm.Histogram{
+		"blob_get": &s.latGet, "blob_head": &s.latHead,
+		"blob_put": &s.latPut, "stat": &s.latStat,
+	} {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			resp.Latency[name] = godpm.LatencyOf(snap)
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"godpm"
 )
@@ -21,6 +22,7 @@ func newTestServer(t *testing.T, opts serverOptions) (*server, *httptest.Server)
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
+	t.Cleanup(s.close)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -212,5 +214,45 @@ func TestAdmissionRefusesExcessLoad(t *testing.T) {
 	}
 	if resp := do(t, http.MethodHead, ts.URL+"/v1/blob/"+key, nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("HEAD after freed slot: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestStatszV2Envelope checks the shared observability schema on the
+// store side: version/service/start identity, per-endpoint-class latency
+// sketches fed by the admit wrapper, and the rolling rate family.
+func TestStatszV2Envelope(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{RateInterval: 10 * time.Millisecond})
+	key := strings.Repeat("ab", 32)
+	blob, _ := json.Marshal(&godpm.Result{EnergyJ: 1, Completed: true})
+	if resp := do(t, http.MethodPut, ts.URL+"/v1/blob/"+key, blob); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: status %d", resp.StatusCode)
+	}
+	for i := 0; i < 2; i++ {
+		if resp := do(t, http.MethodGet, ts.URL+"/v1/blob/"+key, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET: status %d", resp.StatusCode)
+		}
+	}
+	time.Sleep(40 * time.Millisecond) // let the rate sampler observe the counters
+
+	resp := do(t, http.MethodGet, ts.URL+"/statsz", nil)
+	var st statszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != statszVersion || st.Service != "dpmremote" || st.StartUnixMs <= 0 {
+		t.Fatalf("envelope = v%d %q start=%d, want v%d dpmremote with a start time",
+			st.Version, st.Service, st.StartUnixMs, statszVersion)
+	}
+	if got := st.Latency["blob_put"].Count; got != 1 {
+		t.Fatalf("latency[blob_put].count = %d, want 1", got)
+	}
+	if got := st.Latency["blob_get"].Count; got != 2 {
+		t.Fatalf("latency[blob_get].count = %d, want 2", got)
+	}
+	if _, ok := st.Latency["stat"]; ok {
+		t.Fatal("latency[stat] present with no stat traffic")
+	}
+	if _, ok := st.RatesPerS["gets"]; !ok {
+		t.Fatalf("rates_per_s missing gets counter: %v", st.RatesPerS)
 	}
 }

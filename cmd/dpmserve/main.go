@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,8 @@ func main() {
 		remoteTO     = flag.Duration("remote-timeout", 2*time.Second, "per-operation remote store timeout")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent requests before 429 (0 = 4×workers)")
 		chaosSeed    = flag.Uint64("chaos-seed", 0, "inject a deterministic fault schedule into the cache tiers and remote transport (0 = off; testing only)")
+		journalPath  = flag.String("journal", "", "append one NDJSON record per handled request to this file ('' = off; see README Observability)")
+		journalMax   = flag.Int64("journal-max-bytes", 0, "rotate the journal when it would exceed this size (0 = 64 MiB; one rotation kept)")
 		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "healthz-503 window before the listener closes (lets load balancers stop routing)")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after the grace window")
 
@@ -70,6 +73,9 @@ func main() {
 		distinct    = flag.Int("distinct", 8, "loadgen: distinct configurations in the stream")
 		concurrency = flag.Int("concurrency", 16, "loadgen: concurrent clients")
 		lgTasks     = flag.Int("tasks", 20, "loadgen: tasks per request's scenario")
+		replayPath  = flag.String("replay", "", "loadgen: replay this request journal instead of the synthetic mix (original request mix and arrival spacing)")
+		speedup     = flag.Float64("speedup", 1, "loadgen replay: divide the journal's arrival spacing by this factor")
+		assertRFp   = flag.Bool("assert-replay-fingerprints", false, "loadgen replay: fail unless every distinct fingerprint in the journal was served by the replay")
 		assertDedup = flag.Float64("assert-dedup", -1, "loadgen: fail unless served-without-simulation ratio ≥ this (-1 = report only)")
 		assertEnt   = flag.Int64("assert-max-entries", 0, "loadgen: fail if any replica's cache_entries exceeds this (0 = report only)")
 		assertRuns  = flag.Int64("assert-fleet-runs", 0, "loadgen: fail if the summed simulations across replicas exceed this (0 = report only)")
@@ -87,13 +93,24 @@ func main() {
 				}
 			}
 		}
-		rep, err := runLoadgen(loadgenOptions{
-			Targets:     targets,
-			Requests:    *requests,
-			Distinct:    *distinct,
-			Concurrency: *concurrency,
-			Tasks:       *lgTasks,
-		})
+		var rep loadReport
+		var err error
+		if *replayPath != "" {
+			rep, err = runReplay(replayOptions{
+				Path:        *replayPath,
+				Speedup:     *speedup,
+				Targets:     targets,
+				Concurrency: *concurrency,
+			})
+		} else {
+			rep, err = runLoadgen(loadgenOptions{
+				Targets:     targets,
+				Requests:    *requests,
+				Distinct:    *distinct,
+				Concurrency: *concurrency,
+				Tasks:       *lgTasks,
+			})
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -129,6 +146,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "assert-remote-hits: %d < %d — the shared store served nothing\n", rep.RemoteHits, *assertRHits)
 			fail = true
 		}
+		if *assertRFp && !rep.ReplayFingerprintsHit {
+			fmt.Fprintf(os.Stderr, "assert-replay-fingerprints: journal's %d distinct fingerprints not all served (missing %v)\n",
+				rep.JournalDistinct, rep.MissingFingerprints)
+			fail = true
+		}
 		if fail {
 			os.Exit(1)
 		}
@@ -136,15 +158,17 @@ func main() {
 	}
 
 	s, err := newServer(serverOptions{
-		Workers:       *workers,
-		CacheDir:      *cacheDir,
-		CacheEntries:  *cacheEntries,
-		CacheBytes:    *cacheBytes,
-		DiskBytes:     *diskBytes,
-		RemoteURL:     *remoteURL,
-		RemoteTimeout: *remoteTO,
-		MaxInflight:   *maxInflight,
-		ChaosSeed:     *chaosSeed,
+		Workers:        *workers,
+		CacheDir:       *cacheDir,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		DiskBytes:      *diskBytes,
+		RemoteURL:      *remoteURL,
+		RemoteTimeout:  *remoteTO,
+		MaxInflight:    *maxInflight,
+		ChaosSeed:      *chaosSeed,
+		JournalPath:    *journalPath,
+		JournalMaxByte: *journalMax,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -193,10 +217,12 @@ func main() {
 		os.Exit(1)
 	}
 	// Flush the write-behind queue so results computed moments before
-	// SIGTERM still reach the shared store for the rest of the fleet.
+	// SIGTERM still reach the shared store for the rest of the fleet,
+	// then stop the rate sampler and seal the request journal.
 	if s.tiered != nil {
 		_ = s.tiered.Close()
 	}
+	s.close()
 	st := s.eng.Stats()
 	log.Printf("drained cleanly: %d runs, %d hits (%d deduped), %d evictions, %d errors, %d canceled",
 		st.Runs, st.Hits, st.Deduped, st.Evictions, st.Errors, st.Canceled)
@@ -217,6 +243,14 @@ type serverOptions struct {
 	// fail-open and anti-poisoning guarantees can be exercised against a
 	// live replica. Testing only.
 	ChaosSeed uint64
+	// JournalPath, when non-empty, appends one NDJSON record per handled
+	// request (see internal/journal); JournalMaxByte caps the file before
+	// rotation (0 = default).
+	JournalPath    string
+	JournalMaxByte int64
+	// RateInterval is the counter-sampling period behind the /statsz
+	// rolling rates; 0 means one second. Tests shrink it.
+	RateInterval time.Duration
 }
 
 // server is the HTTP serving layer over one shared engine. The engine's
@@ -239,6 +273,16 @@ type server struct {
 	seq         atomic.Int64
 	draining    atomic.Bool
 	start       time.Time
+
+	// The observability surface: per-endpoint latency sketches, rolling
+	// counter rates (fed by a 1s sampler goroutine) and the optional
+	// request journal.
+	latSim    *godpm.Histogram
+	latTour   *godpm.Histogram
+	rates     *godpm.RateSet
+	stopRates func()
+	requests  atomic.Int64
+	journal   *godpm.JournalWriter
 }
 
 func newServer(o serverOptions) (*server, error) {
@@ -292,14 +336,70 @@ func newServer(o serverOptions) (*server, error) {
 	if maxInflight <= 0 {
 		maxInflight = 4 * eng.Workers()
 	}
-	return &server{
+	s := &server{
 		eng:         eng,
 		tiered:      tiered,
 		inflight:    make(chan struct{}, maxInflight),
 		gate:        newWorkGate(eng.Workers()),
 		maxInflight: maxInflight,
 		start:       time.Now(),
-	}, nil
+		latSim:      &godpm.Histogram{},
+		latTour:     &godpm.Histogram{},
+		rates:       godpm.NewRateSet(0),
+	}
+	if o.JournalPath != "" {
+		jw, err := godpm.OpenJournal(o.JournalPath, godpm.JournalOptions{MaxBytes: o.JournalMaxByte, Start: s.start})
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jw
+		log.Printf("journaling requests to %s", o.JournalPath)
+	}
+	s.stopRates = s.rates.Sample(o.RateInterval, func() map[string]float64 {
+		st := eng.Stats()
+		return map[string]float64{
+			"requests":  float64(s.requests.Load()),
+			"hits":      float64(st.Hits),
+			"deduped":   float64(st.Deduped),
+			"runs":      float64(st.Runs),
+			"evictions": float64(st.Evictions),
+			"errors":    float64(st.Errors),
+		}
+	})
+	return s, nil
+}
+
+// close stops the rate sampler and seals the journal; the handler itself
+// needs no teardown.
+func (s *server) close() {
+	s.stopRates()
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+}
+
+// observe books one handled request into the endpoint's latency sketch
+// and the journal. Arrival time is t0, so journal offsets reproduce
+// arrival spacing; throttled refusals are journaled (they are part of the
+// traffic shape) but excluded from the latency sketch (they measure the
+// refusal, not the service).
+func (s *server) observe(t0 time.Time, rec godpm.JournalRecord) {
+	d := time.Since(t0)
+	if rec.Outcome != godpm.JournalOutcomeThrottled {
+		switch rec.Endpoint {
+		case godpm.JournalEndpointSimulate:
+			s.latSim.RecordDuration(d)
+		case godpm.JournalEndpointTournament:
+			s.latTour.RecordDuration(d)
+		}
+	}
+	if s.journal != nil {
+		rec.T = s.journal.Offset(t0)
+		rec.LatencyMs = float64(d.Microseconds()) / 1000
+		if err := s.journal.Append(rec); err != nil {
+			log.Printf("journal: %v", err)
+		}
+	}
 }
 
 // workGate is a weighted semaphore with FIFO handoff: wide acquisitions
@@ -434,6 +534,7 @@ type simulateResponse struct {
 }
 
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -448,12 +549,23 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// One journal record per resolvable request from here on — refusals
+	// included, because an incident's traffic shape includes its 429s.
+	s.requests.Add(1)
+	rec := godpm.JournalRecord{Endpoint: godpm.JournalEndpointSimulate, Tasks: req.Tasks, Seed: req.Seed}
+	if req.Config == nil {
+		rec.Scenario = id
+	}
 	if !s.acquire(w) {
+		rec.Outcome, rec.Status = godpm.JournalOutcomeThrottled, http.StatusTooManyRequests
+		s.observe(t0, rec)
 		return
 	}
 	defer s.release()
 	if !s.gate.acquire(r.Context(), 1) {
 		http.Error(w, "client went away", http.StatusRequestTimeout)
+		rec.Outcome, rec.Status = godpm.JournalOutcomeCanceled, http.StatusRequestTimeout
+		s.observe(t0, rec)
 		return
 	}
 	defer s.gate.release(1)
@@ -462,15 +574,28 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	plan.Add(fmt.Sprintf("%s#%d", id, s.seq.Add(1)), cfg)
 	results, runErr := s.eng.Run(r.Context(), plan)
 	jr := results[0]
+	rec.Fingerprint = jr.Key
+	if req.Config != nil {
+		rec.ConfigDigest = jr.Key
+	}
 	if jr.Err != nil {
 		status := http.StatusUnprocessableEntity
+		rec.Outcome = godpm.JournalOutcomeError
 		if errors.Is(jr.Err, context.Canceled) {
 			status = http.StatusRequestTimeout
+			rec.Outcome = godpm.JournalOutcomeCanceled
 		}
 		http.Error(w, jr.Err.Error(), status)
+		rec.Status = status
+		s.observe(t0, rec)
 		return
 	}
 	_ = runErr // per-job error already handled
+	rec.Outcome, rec.Status = godpm.JournalOutcomeRun, http.StatusOK
+	if jr.CacheHit {
+		rec.Outcome = godpm.JournalOutcomeHit
+	}
+	defer s.observe(t0, rec)
 	res := jr.Result
 	writeJSON(w, simulateResponse{
 		ID:        jr.Job.ID,
@@ -535,6 +660,7 @@ type tournamentRequest struct {
 // per standing, then a trailer {"done":true,...} with the engine
 // counters.
 func (s *server) handleTournament(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -549,7 +675,11 @@ func (s *server) handleTournament(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.requests.Add(1)
+	rec := godpm.JournalRecord{Endpoint: godpm.JournalEndpointTournament}
 	if !s.acquire(w) {
+		rec.Outcome, rec.Status = godpm.JournalOutcomeThrottled, http.StatusTooManyRequests
+		s.observe(t0, rec)
 		return
 	}
 	defer s.release()
@@ -564,6 +694,8 @@ func (s *server) handleTournament(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.gate.acquire(r.Context(), weight) {
 		http.Error(w, "client went away", http.StatusRequestTimeout)
+		rec.Outcome, rec.Status = godpm.JournalOutcomeCanceled, http.StatusRequestTimeout
+		s.observe(t0, rec)
 		return
 	}
 	defer s.gate.release(weight)
@@ -585,8 +717,15 @@ func (s *server) handleTournament(w http.ResponseWriter, r *http.Request) {
 			Done  bool   `json:"done"`
 			Error string `json:"error"`
 		}{false, err.Error()})
+		rec.Outcome, rec.Status = godpm.JournalOutcomeError, http.StatusOK
+		s.observe(t0, rec)
 		return
 	}
+	rec.Outcome, rec.Status = godpm.JournalOutcomeRun, http.StatusOK
+	if err != nil {
+		rec.Outcome = godpm.JournalOutcomeError
+	}
+	defer s.observe(t0, rec)
 	for _, standing := range res.Leaderboard {
 		if err := enc.Encode(standing); err != nil {
 			return
@@ -667,8 +806,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statszResponse is the engine snapshot plus derived serving rates.
+// statszVersion is the /statsz schema version: bumped when fields change
+// meaning or disappear (additions don't bump it). Version 2 added the
+// version/service/start fields, per-endpoint latency sketches, rolling
+// rates and the journal block.
+const statszVersion = 2
+
+// statszResponse is the engine snapshot plus derived serving rates,
+// rolling per-second rates, and per-endpoint latency — the schema dpmtop
+// aggregates.
 type statszResponse struct {
+	Version     int    `json:"version"`
+	Service     string `json:"service"`
+	StartUnixMs int64  `json:"start_unix_ms"`
 	godpm.EngineStats
 	HitRate     float64 `json:"hit_rate"`
 	DedupRate   float64 `json:"dedup_rate"`
@@ -677,17 +827,48 @@ type statszResponse struct {
 	BusyWorkers int     `json:"busy_workers"`
 	Workers     int     `json:"workers"`
 	UptimeS     float64 `json:"uptime_s"`
+	// RatesPerS are rolling per-second rates over the last minute
+	// (requests, hits, deduped, runs, evictions, errors), sampled from
+	// the cumulative counters once a second.
+	RatesPerS map[string]float64 `json:"rates_per_s,omitempty"`
+	// Latency maps endpoint → headline quantiles + the mergeable sketch
+	// they were computed from (simulate, tournament; the engine's own
+	// run_latency lives inside the embedded EngineStats).
+	Latency map[string]godpm.Latency `json:"latency,omitempty"`
+	Journal *journalStatus           `json:"journal,omitempty"`
+}
+
+// journalStatus reports the request journal's health in /statsz.
+type journalStatus struct {
+	Path     string `json:"path"`
+	Appended int64  `json:"appended"`
+	Rotated  int64  `json:"rotated"`
 }
 
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	resp := statszResponse{
+		Version:     statszVersion,
+		Service:     "dpmserve",
+		StartUnixMs: s.start.UnixMilli(),
 		EngineStats: st,
 		Inflight:    len(s.inflight),
 		MaxInflight: s.maxInflight,
 		BusyWorkers: s.gate.busy(s.eng.Workers()),
 		Workers:     s.eng.Workers(),
 		UptimeS:     time.Since(s.start).Seconds(),
+		RatesPerS:   s.rates.Rates(),
+		Latency:     map[string]godpm.Latency{},
+	}
+	if snap := s.latSim.Snapshot(); snap.Count > 0 {
+		resp.Latency[godpm.JournalEndpointSimulate] = godpm.LatencyOf(snap)
+	}
+	if snap := s.latTour.Snapshot(); snap.Count > 0 {
+		resp.Latency[godpm.JournalEndpointTournament] = godpm.LatencyOf(snap)
+	}
+	if s.journal != nil {
+		appended, rotated := s.journal.Stats()
+		resp.Journal = &journalStatus{Path: s.journal.Path(), Appended: appended, Rotated: rotated}
 	}
 	if lookups := st.Hits + st.Misses; lookups > 0 {
 		resp.HitRate = float64(st.Hits) / float64(lookups)
@@ -753,6 +934,23 @@ type loadReport struct {
 	// served by the shared store, i.e. simulations some other replica
 	// ran.
 	RemoteHits int64
+	// Latency summarises client-observed latency of successful requests
+	// (the final attempt only — 429 backoff is backpressure, not service
+	// time), with the same quantile definitions as the servers' /statsz.
+	Latency godpm.LatencySummary
+	// Replay-mode fields (zero in synthetic mode): Replayed counts
+	// records re-issued, SkippedRecords counts journal records that were
+	// not replayable (inline-config, throttled, torn lines),
+	// JournalDistinct/ServedDistinct count distinct fingerprints in the
+	// journal vs observed during replay, and ReplayFingerprintsHit is
+	// whether every journal fingerprint was served (MissingFingerprints
+	// lists up to a few that were not).
+	Replayed              int
+	SkippedRecords        int
+	JournalDistinct       int
+	ServedDistinct        int
+	ReplayFingerprintsHit bool
+	MissingFingerprints   []string
 }
 
 func (r loadReport) String() string {
@@ -761,6 +959,14 @@ func (r loadReport) String() string {
 			"served without simulation: %d/%d (ratio %.3f)\n",
 		r.Requests, r.OK, r.TooMany, r.Failed,
 		r.Hits, r.OK, r.DedupRatio)
+	if r.Latency.Count > 0 {
+		s += fmt.Sprintf("latency: p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms (n=%d)\n",
+			r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.MaxMs, r.Latency.Count)
+	}
+	if r.Replayed > 0 {
+		s += fmt.Sprintf("replay: %d records re-issued (%d skipped), fingerprints served %d/%d\n",
+			r.Replayed, r.SkippedRecords, r.JournalDistinct-len(r.MissingFingerprints), r.JournalDistinct)
+	}
 	for i, st := range r.Replicas {
 		s += fmt.Sprintf("replica %d: runs=%d hits=%d deduped=%d evictions=%d cache_entries=%d cache_bytes=%d%s\n",
 			i, st.Runs, st.Hits, st.Deduped, st.Evictions,
@@ -806,6 +1012,7 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var lat godpm.Histogram
 	// First-seen digest per key: every replica must serve byte-identical
 	// measurements for the same configuration, chaos or not. A mismatch
 	// means a poisoned result reached a client.
@@ -821,11 +1028,12 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 					Tasks:    o.Tasks,
 					Seed:     int64(1 + i%o.Distinct),
 				})
-				ok, hit, retries, key, digest := postSimulate(client, o.Targets[i%len(o.Targets)], body)
+				ok, hit, retries, key, digest, took := postSimulate(client, o.Targets[i%len(o.Targets)], body)
 				mu.Lock()
 				rep.TooMany += retries
 				if ok {
 					rep.OK++
+					lat.RecordDuration(took)
 					if hit {
 						rep.Hits++
 					}
@@ -850,16 +1058,26 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 	if rep.OK > 0 {
 		rep.DedupRatio = float64(rep.Hits) / float64(rep.OK)
 	}
-	for _, target := range o.Targets {
+	rep.Latency = godpm.LatencyOf(lat.Snapshot()).LatencySummary
+	if err := collectReplicas(client, o.Targets, &rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// collectReplicas appends each target's /statsz snapshot to the report
+// and folds the fleet aggregates (shared by synthetic and replay modes).
+func collectReplicas(client *http.Client, targets []string, rep *loadReport) error {
+	for _, target := range targets {
 		resp, err := client.Get(target + "/statsz")
 		if err != nil {
-			return rep, fmt.Errorf("statsz %s: %w", target, err)
+			return fmt.Errorf("statsz %s: %w", target, err)
 		}
 		var st statszResponse
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()
 		if err != nil {
-			return rep, fmt.Errorf("statsz %s: %w", target, err)
+			return fmt.Errorf("statsz %s: %w", target, err)
 		}
 		rep.Replicas = append(rep.Replicas, st)
 		rep.FleetRuns += st.Runs
@@ -870,18 +1088,146 @@ func runLoadgen(o loadgenOptions) (loadReport, error) {
 		}
 	}
 	rep.Stats = rep.Replicas[0]
+	return nil
+}
+
+// replayOptions configures a journal replay run.
+type replayOptions struct {
+	Path        string
+	Speedup     float64
+	Targets     []string
+	Concurrency int
+}
+
+// runReplay re-issues a recorded request journal against the targets:
+// the same scenario/tasks/seed mix in arrival order, sleeping so each
+// request fires at its original offset from the run's start (divided by
+// Speedup). Inline-config and throttled records cannot be re-issued and
+// are counted as skipped. The report's fingerprint fields verify the
+// replay reproduced the journal's distinct working set.
+func runReplay(o replayOptions) (loadReport, error) {
+	if len(o.Targets) == 0 {
+		return loadReport{}, fmt.Errorf("replay: no targets")
+	}
+	if o.Speedup <= 0 {
+		o.Speedup = 1
+	}
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
+	}
+	recs, torn, err := godpm.ReadJournal(o.Path)
+	if err != nil {
+		return loadReport{}, fmt.Errorf("replay: %w", err)
+	}
+	journalFp := make(map[string]bool)
+	var todo []godpm.JournalRecord
+	skipped := torn
+	for _, rec := range recs {
+		if rec.Fingerprint != "" {
+			journalFp[rec.Fingerprint] = true
+		}
+		if rec.Replayable() {
+			todo = append(todo, rec)
+		} else {
+			skipped++
+		}
+	}
+	sort.Slice(todo, func(i, j int) bool { return todo[i].T < todo[j].T })
+	if len(todo) == 0 {
+		return loadReport{}, fmt.Errorf("replay: %s has no replayable records (%d skipped)", o.Path, skipped)
+	}
+
+	client := &http.Client{Timeout: 120 * time.Second}
+	rep := loadReport{Requests: len(todo), Replayed: len(todo), SkippedRecords: skipped, JournalDistinct: len(journalFp)}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var lat godpm.Histogram
+	seen := make(map[string]string)
+	served := make(map[string]bool)
+	next := make(chan int)
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rec := todo[i]
+				body, _ := json.Marshal(simulateRequest{
+					Scenario: rec.Scenario,
+					Tasks:    rec.Tasks,
+					Seed:     rec.Seed,
+				})
+				ok, hit, retries, key, digest, took := postSimulate(client, o.Targets[i%len(o.Targets)], body)
+				mu.Lock()
+				rep.TooMany += retries
+				if ok {
+					rep.OK++
+					lat.RecordDuration(took)
+					served[key] = true
+					if hit {
+						rep.Hits++
+					}
+					if prev, dup := seen[key]; dup && prev != digest {
+						rep.Poisoned++
+					} else if !dup {
+						seen[key] = digest
+					}
+				} else {
+					rep.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	// The dispatcher reproduces arrival spacing: record i is released at
+	// its journal offset (scaled by 1/speedup) from the replay's start.
+	// Offsets are relative to the journal's first record, so replaying a
+	// journal whose traffic began an hour into serving does not start
+	// with an hour of silence.
+	start := time.Now()
+	base := todo[0].T
+	for i := range todo {
+		due := start.Add(time.Duration((todo[i].T - base) / o.Speedup * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if rep.OK > 0 {
+		rep.DedupRatio = float64(rep.Hits) / float64(rep.OK)
+	}
+	rep.Latency = godpm.LatencyOf(lat.Snapshot()).LatencySummary
+	rep.ServedDistinct = len(served)
+	rep.ReplayFingerprintsHit = true
+	for fp := range journalFp {
+		if !served[fp] {
+			rep.ReplayFingerprintsHit = false
+			if len(rep.MissingFingerprints) < 5 {
+				rep.MissingFingerprints = append(rep.MissingFingerprints, fp)
+			}
+		}
+	}
+	sort.Strings(rep.MissingFingerprints)
+	if err := collectReplicas(client, o.Targets, &rep); err != nil {
+		return rep, err
+	}
 	return rep, nil
 }
 
 // postSimulate sends one simulate request, retrying 429 backpressure.
 // It returns success, whether the response was cache-served, how many
-// 429s it absorbed, and the response's key and content digest (for the
-// cross-replica consistency check).
-func postSimulate(client *http.Client, target string, body []byte) (ok, hit bool, retries int, key, digest string) {
+// 429s it absorbed, the response's key and content digest (for the
+// cross-replica consistency check), and the latency of the final
+// attempt (backoff excluded — 429s are backpressure, not service time).
+func postSimulate(client *http.Client, target string, body []byte) (ok, hit bool, retries int, key, digest string, took time.Duration) {
 	for attempt := 0; attempt < 50; attempt++ {
+		t0 := time.Now()
 		resp, err := client.Post(target+"/v1/simulate", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return false, false, retries, "", ""
+			return false, false, retries, "", "", 0
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			io.Copy(io.Discard, resp.Body)
@@ -894,9 +1240,9 @@ func postSimulate(client *http.Client, target string, body []byte) (ok, hit bool
 		err = json.NewDecoder(resp.Body).Decode(&sr)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK || err != nil {
-			return false, false, retries, "", ""
+			return false, false, retries, "", "", 0
 		}
-		return true, sr.CacheHit, retries, sr.Key, sr.Digest
+		return true, sr.CacheHit, retries, sr.Key, sr.Digest, time.Since(t0)
 	}
-	return false, false, retries, "", ""
+	return false, false, retries, "", "", 0
 }

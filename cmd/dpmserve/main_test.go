@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -26,6 +27,7 @@ func newTestServer(t *testing.T, o serverOptions) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.close)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -555,5 +557,181 @@ func TestStatszReportsTiers(t *testing.T) {
 	st := getStatsz(t, plain.URL)
 	if len(st.Tiers) != 1 || st.Tiers[0].Tier != godpm.TierMemory {
 		t.Fatalf("plain /statsz tiers = %+v, want exactly one memory tier", st.Tiers)
+	}
+}
+
+// TestStatszV2Envelope checks the observability schema: version, service
+// identity, start time, rolling rates, and per-endpoint latency sketches
+// whose counts match the traffic served.
+func TestStatszV2Envelope(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{MaxInflight: 8, RateInterval: 10 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		if resp, _ := postJSON(t, ts.URL+"/v1/simulate", `{"scenario":"A1","tasks":3,"seed":7}`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate: status %d", resp.StatusCode)
+		}
+	}
+	time.Sleep(40 * time.Millisecond) // let the rate sampler observe the counters
+
+	st := getStatsz(t, ts.URL)
+	if st.Version != statszVersion || st.Service != "dpmserve" {
+		t.Fatalf("envelope = v%d %q, want v%d dpmserve", st.Version, st.Service, statszVersion)
+	}
+	if st.StartUnixMs <= 0 || st.UptimeS <= 0 {
+		t.Fatalf("start_unix_ms=%d uptime_s=%f, want both positive", st.StartUnixMs, st.UptimeS)
+	}
+	lat, ok := st.Latency[godpm.JournalEndpointSimulate]
+	if !ok || lat.Count != 3 {
+		t.Fatalf("latency[simulate] = %+v (present=%v), want count 3", lat, ok)
+	}
+	if lat.MaxMs < lat.P50Ms || lat.Hist.Count != 3 {
+		t.Fatalf("latency summary inconsistent with sketch: %+v", lat)
+	}
+	if _, ok := st.RatesPerS["requests"]; !ok {
+		t.Fatalf("rates_per_s missing requests counter: %v", st.RatesPerS)
+	}
+}
+
+// TestJournalRecordsRequests checks every handled request lands in the
+// journal with its outcome, fingerprint and latency, and that hits and
+// runs are distinguished.
+func TestJournalRecordsRequests(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "req.journal")
+	s, ts := newTestServer(t, serverOptions{MaxInflight: 8, JournalPath: path})
+
+	for i := 0; i < 2; i++ { // second request is a cache hit
+		if resp, _ := postJSON(t, ts.URL+"/v1/simulate", `{"scenario":"A1","tasks":3,"seed":9}`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate: status %d", resp.StatusCode)
+		}
+	}
+	// Malformed traffic (an unresolvable scenario) is refused before the
+	// journal: it carries nothing replayable.
+	if resp, _ := postJSON(t, ts.URL+"/v1/simulate", `{"scenario":"no-such","tasks":3}`); resp.StatusCode == http.StatusOK {
+		t.Fatal("unknown scenario should fail")
+	}
+	s.close()
+
+	recs, skipped, err := godpm.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d skipped lines in a cleanly closed journal", skipped)
+	}
+	var outcomes []string
+	for _, r := range recs {
+		outcomes = append(outcomes, r.Outcome)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("journal has %d records (%v), want 2 (bad requests are not journaled)", len(recs), outcomes)
+	}
+	if recs[0].Outcome != godpm.JournalOutcomeRun || recs[1].Outcome != godpm.JournalOutcomeHit {
+		t.Fatalf("outcomes = %v, want [run hit]", outcomes)
+	}
+	if recs[0].Fingerprint == "" || recs[0].Fingerprint != recs[1].Fingerprint {
+		t.Fatalf("duplicate requests journaled different fingerprints: %q vs %q",
+			recs[0].Fingerprint, recs[1].Fingerprint)
+	}
+	for i, r := range recs[:2] {
+		if !r.Replayable() || r.Scenario != "A1" || r.Seed != 9 || r.LatencyMs < 0 || r.T < 0 {
+			t.Fatalf("record %d not replayable or malformed: %+v", i, r)
+		}
+	}
+	if recs[1].T < recs[0].T {
+		t.Fatalf("journal offsets not monotone: %f then %f", recs[0].T, recs[1].T)
+	}
+}
+
+// TestRecordThenReplayDeterminism is the acceptance loop: record a
+// loadgen run's journal, replay it against a fresh replica, and require
+// the replay to reproduce the journal's distinct fingerprint set and
+// dedup behaviour.
+func TestRecordThenReplayDeterminism(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "req.journal")
+	s, ts := newTestServer(t, serverOptions{MaxInflight: 32, JournalPath: path})
+	orig, err := runLoadgen(loadgenOptions{
+		Targets: []string{ts.URL}, Requests: 24, Distinct: 4, Concurrency: 4, Tasks: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Failed > 0 || orig.OK != 24 {
+		t.Fatalf("recording run: %+v", orig)
+	}
+	if orig.Latency.Count != int64(orig.OK) || orig.Latency.MaxMs <= 0 {
+		t.Fatalf("loadgen latency summary not populated: %+v", orig.Latency)
+	}
+	s.close()
+
+	_, fresh := newTestServer(t, serverOptions{MaxInflight: 32})
+	rep, err := runReplay(replayOptions{Path: path, Speedup: 1000, Targets: []string{fresh.URL}, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != 24 || rep.Failed > 0 {
+		t.Fatalf("replay: %+v", rep)
+	}
+	if rep.JournalDistinct != 4 || rep.ServedDistinct != 4 || !rep.ReplayFingerprintsHit {
+		t.Fatalf("replay did not reproduce the working set: journal=%d served=%d hit=%v missing=%v",
+			rep.JournalDistinct, rep.ServedDistinct, rep.ReplayFingerprintsHit, rep.MissingFingerprints)
+	}
+	// Same mix against a fresh cache ⇒ the same dedup shape: one run per
+	// distinct configuration, everything else served without simulating.
+	if rep.Stats.Runs != 4 {
+		t.Fatalf("replay ran %d simulations, want 4 (one per distinct config)", rep.Stats.Runs)
+	}
+	if rep.DedupRatio < orig.DedupRatio {
+		t.Fatalf("replay dedup ratio %f < recording's %f", rep.DedupRatio, orig.DedupRatio)
+	}
+}
+
+// TestReplayPreservesArrivalSpacing pins the replay scheduler: records
+// journaled at offsets spanning 0.6s take at least that long to re-issue
+// at speedup 1, and proportionally less when sped up.
+func TestReplayPreservesArrivalSpacing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spaced.journal")
+	w, err := godpm.OpenJournal(path, godpm.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, offset := range []float64{0, 0.3, 0.6} {
+		err := w.Append(godpm.JournalRecord{
+			T: offset, Endpoint: godpm.JournalEndpointSimulate,
+			Scenario: "A1", Tasks: 3, Seed: int64(i + 1),
+			Outcome: godpm.JournalOutcomeRun,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, serverOptions{MaxInflight: 8})
+	t0 := time.Now()
+	rep, err := runReplay(replayOptions{Path: path, Speedup: 1, Targets: []string{ts.URL}, Concurrency: 3})
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != 3 || rep.Failed > 0 {
+		t.Fatalf("replay: %+v", rep)
+	}
+	// The last record must not fire before its 0.6s offset; the upper
+	// bound is generous (scheduling + the requests themselves).
+	if elapsed < 550*time.Millisecond {
+		t.Fatalf("replay finished in %v — arrival spacing not preserved (last offset 0.6s)", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("replay took %v, far beyond the journal's 0.6s span", elapsed)
+	}
+
+	_, fresh := newTestServer(t, serverOptions{MaxInflight: 8})
+	t0 = time.Now()
+	if _, err := runReplay(replayOptions{Path: path, Speedup: 6, Targets: []string{fresh.URL}, Concurrency: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if sped := time.Since(t0); sped >= 550*time.Millisecond {
+		t.Fatalf("speedup 6 replay took %v, want well under the 0.6s real-time span", sped)
 	}
 }

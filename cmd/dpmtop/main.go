@@ -1,0 +1,408 @@
+// Command dpmtop is a live terminal dashboard over the serving fleet's
+// /statsz endpoints — point it at any mix of dpmserve replicas and
+// dpmremote stores and it renders, per poll interval: cumulative
+// counters with deltas since the previous poll, rolling per-second
+// rates, cache/store gauges, and per-endpoint latency quantiles with an
+// ASCII histogram of the underlying sketch. When more than one target
+// reports the same endpoint, a fleet section merges the replicas'
+// latency sketches exactly (bucket counts add — see internal/stats)
+// instead of averaging percentiles.
+//
+//	dpmtop -targets http://127.0.0.1:8080,http://127.0.0.1:8081
+//
+// For scripts and CI there is a non-interactive mode:
+//
+//	dpmtop -targets ... -once -json   # one poll, machine-readable JSON
+//	dpmtop -targets ... -once        # one poll, the normal rendering
+//
+// In a TTY the screen is redrawn in place each interval; piped output
+// appends one rendering per poll instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"godpm"
+)
+
+func main() {
+	var (
+		targetsFlag = flag.String("targets", "http://127.0.0.1:8080", "comma-separated /statsz base URLs (dpmserve and/or dpmremote)")
+		interval    = flag.Duration("interval", 2*time.Second, "poll interval")
+		once        = flag.Bool("once", false, "poll once, render once, exit (exit 1 if every target failed)")
+		asJSON      = flag.Bool("json", false, "render machine-readable JSON instead of the dashboard")
+		timeout     = flag.Duration("timeout", 3*time.Second, "per-target poll timeout")
+	)
+	flag.Parse()
+
+	var targets []string
+	for _, t := range strings.Split(*targetsFlag, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, strings.TrimRight(t, "/"))
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "dpmtop: no targets")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	states := make([]*targetState, len(targets))
+	for i, t := range targets {
+		states[i] = &targetState{URL: t}
+	}
+
+	clear := !*once && isTTY(os.Stdout)
+	for {
+		pollAll(client, states)
+		if *asJSON {
+			renderJSON(os.Stdout, states)
+		} else {
+			render(os.Stdout, states, clear)
+		}
+		if *once {
+			if allFailed(states) {
+				fmt.Fprintln(os.Stderr, "dpmtop: every target failed")
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// snapshot decodes either service's /statsz: the shared envelope
+// (version/service/start/uptime/rates/latency) plus each service's
+// counters — absent fields simply stay zero, so one struct covers both.
+type snapshot struct {
+	Version     int                      `json:"version"`
+	Service     string                   `json:"service"`
+	StartUnixMs int64                    `json:"start_unix_ms"`
+	UptimeS     float64                  `json:"uptime_s"`
+	RatesPerS   map[string]float64       `json:"rates_per_s"`
+	Latency     map[string]godpm.Latency `json:"latency"`
+
+	// dpmserve counters and gauges.
+	Hits         int64          `json:"hits"`
+	Misses       int64          `json:"misses"`
+	Runs         int64          `json:"runs"`
+	Errors       int64          `json:"errors"`
+	Deduped      int64          `json:"deduped"`
+	Evictions    int64          `json:"evictions"`
+	CacheEntries int64          `json:"cache_entries"`
+	CacheBytes   int64          `json:"cache_bytes"`
+	HitRate      float64        `json:"hit_rate"`
+	DedupRate    float64        `json:"dedup_rate"`
+	RunLatency   *godpm.Latency `json:"run_latency"`
+
+	// dpmremote counters.
+	Gets        int64 `json:"gets"`
+	GetHits     int64 `json:"get_hits"`
+	Heads       int64 `json:"heads"`
+	Puts        int64 `json:"puts"`
+	PutRejects  int64 `json:"put_rejects"`
+	StatBatches int64 `json:"stat_batches"`
+
+	// Shared gauges.
+	Inflight    int `json:"inflight"`
+	MaxInflight int `json:"max_inflight"`
+	Workers     int `json:"workers"`
+}
+
+// targetState is one polled endpoint's rolling state: the latest
+// snapshot, the previous one (for deltas), and the last error.
+type targetState struct {
+	URL  string
+	Err  string
+	Snap snapshot
+	Prev snapshot
+	// HasPrev guards the delta column until two polls have landed.
+	HasPrev bool
+}
+
+// poll fetches and decodes one target's /statsz.
+func poll(client *http.Client, url string) (snapshot, error) {
+	resp, err := client.Get(url + "/statsz")
+	if err != nil {
+		return snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return snapshot{}, fmt.Errorf("statsz: HTTP %d", resp.StatusCode)
+	}
+	var s snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return snapshot{}, fmt.Errorf("statsz: %w", err)
+	}
+	return s, nil
+}
+
+// pollAll refreshes every target, shifting the previous snapshot into
+// the delta slot.
+func pollAll(client *http.Client, states []*targetState) {
+	for _, st := range states {
+		s, err := poll(client, st.URL)
+		if err != nil {
+			st.Err = err.Error()
+			continue
+		}
+		if st.Err == "" && st.Snap.Service != "" {
+			st.Prev, st.HasPrev = st.Snap, true
+		} else {
+			st.HasPrev = false
+		}
+		st.Snap, st.Err = s, ""
+	}
+}
+
+func allFailed(states []*targetState) bool {
+	for _, st := range states {
+		if st.Err == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// kv is one labelled counter, paired for the delta column.
+type kv struct {
+	Name string
+	V    int64
+}
+
+// counters picks the service-appropriate counter row.
+func counters(s snapshot) []kv {
+	if s.Service == "dpmremote" || (s.Service == "" && s.Gets+s.Puts > 0) {
+		return []kv{
+			{"gets", s.Gets}, {"get_hits", s.GetHits}, {"heads", s.Heads},
+			{"puts", s.Puts}, {"put_rejects", s.PutRejects}, {"stat_batches", s.StatBatches},
+		}
+	}
+	return []kv{
+		{"runs", s.Runs}, {"hits", s.Hits}, {"misses", s.Misses},
+		{"deduped", s.Deduped}, {"evictions", s.Evictions}, {"errors", s.Errors},
+	}
+}
+
+// render draws the dashboard. With clear set it repaints the terminal in
+// place (ANSI home+erase); otherwise renderings append.
+func render(w io.Writer, states []*targetState, clear bool) {
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(&b, "dpmtop — %d target(s), %s\n", len(states), time.Now().Format("15:04:05"))
+	for _, st := range states {
+		b.WriteString("\n")
+		if st.Err != "" {
+			fmt.Fprintf(&b, "▌ %s — UNREACHABLE: %s\n", st.URL, st.Err)
+			continue
+		}
+		s := st.Snap
+		fmt.Fprintf(&b, "▌ %s — %s (statsz v%d), up %s, inflight %d/%d\n",
+			st.URL, orUnknown(s.Service), s.Version, fmtDur(s.UptimeS), s.Inflight, s.MaxInflight)
+
+		cs := counters(s)
+		prev := map[string]int64{}
+		if st.HasPrev {
+			for _, c := range counters(st.Prev) {
+				prev[c.Name] = c.V
+			}
+		}
+		parts := make([]string, len(cs))
+		for i, c := range cs {
+			parts[i] = fmt.Sprintf("%s %d", c.Name, c.V)
+			if st.HasPrev {
+				parts[i] += fmt.Sprintf(" (+%d)", c.V-prev[c.Name])
+			}
+		}
+		fmt.Fprintf(&b, "  totals: %s\n", strings.Join(parts, "  "))
+		if s.Service == "dpmserve" {
+			fmt.Fprintf(&b, "  cache:  entries %d, bytes %d, hit_rate %.3f, dedup_rate %.3f\n",
+				s.CacheEntries, s.CacheBytes, s.HitRate, s.DedupRate)
+		}
+		if len(s.RatesPerS) > 0 {
+			names := sortedKeys(s.RatesPerS)
+			rp := make([]string, 0, len(names))
+			for _, n := range names {
+				rp = append(rp, fmt.Sprintf("%s %.1f/s", n, s.RatesPerS[n]))
+			}
+			fmt.Fprintf(&b, "  rates:  %s\n", strings.Join(rp, "  "))
+		}
+		lat := s.Latency
+		if s.RunLatency != nil {
+			if lat == nil {
+				lat = map[string]godpm.Latency{}
+			}
+			lat["engine_run"] = *s.RunLatency
+		}
+		for _, ep := range sortedLatKeys(lat) {
+			writeLatency(&b, "  ", ep, lat[ep])
+		}
+	}
+	if fleet := fleetLatency(states); len(fleet) > 0 {
+		fmt.Fprintf(&b, "\n▌ fleet (exact sketch merge across targets)\n")
+		for _, ep := range sortedLatKeys(fleet) {
+			writeLatency(&b, "  ", ep, fleet[ep])
+		}
+	}
+	io.WriteString(w, b.String())
+}
+
+// writeLatency renders one endpoint's quantile line and sketch bars.
+func writeLatency(b *strings.Builder, indent, name string, l godpm.Latency) {
+	fmt.Fprintf(b, "%s%-11s %s\n", indent, name+":", l.LatencySummary.String())
+	for _, line := range histBars(l.Hist, 6, 24) {
+		fmt.Fprintf(b, "%s  %s\n", indent, line)
+	}
+}
+
+// histBars collapses a sketch's occupied buckets into at most bins rows
+// "≤ 12ms ######## 42", scaling bars to width.
+func histBars(h godpm.HistogramSnapshot, bins, width int) []string {
+	if h.Count == 0 || len(h.Bucket) == 0 {
+		return nil
+	}
+	per := (len(h.Bucket) + bins - 1) / bins
+	type bar struct {
+		upper int64
+		n     int64
+	}
+	var bars []bar
+	for i := 0; i < len(h.Bucket); i += per {
+		end := i + per
+		if end > len(h.Bucket) {
+			end = len(h.Bucket)
+		}
+		var n int64
+		for j := i; j < end; j++ {
+			n += h.N[j]
+		}
+		bars = append(bars, bar{upper: h.UpperBound(end - 1), n: n})
+	}
+	var peak int64
+	for _, bb := range bars {
+		if bb.n > peak {
+			peak = bb.n
+		}
+	}
+	out := make([]string, len(bars))
+	for i, bb := range bars {
+		w := int(bb.n * int64(width) / peak)
+		if w == 0 && bb.n > 0 {
+			w = 1
+		}
+		out[i] = fmt.Sprintf("≤%8.1fms %-*s %d", float64(bb.upper)/1000, width, strings.Repeat("#", w), bb.n)
+	}
+	return out
+}
+
+// fleetLatency merges every reachable target's latency sketches per
+// endpoint name — exact, order-independent aggregation (the property the
+// sketch's Merge tests pin down). Returns nil unless at least two
+// targets contribute.
+func fleetLatency(states []*targetState) map[string]godpm.Latency {
+	merged := map[string]godpm.HistogramSnapshot{}
+	contributors := 0
+	for _, st := range states {
+		if st.Err != "" || len(st.Snap.Latency) == 0 {
+			continue
+		}
+		contributors++
+		for ep, l := range st.Snap.Latency {
+			m, err := merged[ep].Merge(l.Hist)
+			if err != nil {
+				// A corrupt peer sketch must not poison the fleet view;
+				// skip it (Validate guards the merge).
+				continue
+			}
+			merged[ep] = m
+		}
+	}
+	if contributors < 2 {
+		return nil
+	}
+	out := make(map[string]godpm.Latency, len(merged))
+	for ep, m := range merged {
+		out[ep] = godpm.LatencyOf(m)
+	}
+	return out
+}
+
+// jsonOut is the -json rendering: every target's raw snapshot plus the
+// fleet merge — stable input for CI assertions.
+type jsonOut struct {
+	Targets []jsonTarget             `json:"targets"`
+	Fleet   map[string]godpm.Latency `json:"fleet_latency,omitempty"`
+}
+
+type jsonTarget struct {
+	URL    string    `json:"url"`
+	Error  string    `json:"error,omitempty"`
+	Statsz *snapshot `json:"statsz,omitempty"`
+}
+
+func renderJSON(w io.Writer, states []*targetState) {
+	out := jsonOut{Fleet: fleetLatency(states)}
+	for _, st := range states {
+		jt := jsonTarget{URL: st.URL, Error: st.Err}
+		if st.Err == "" {
+			snap := st.Snap
+			jt.Statsz = &snap
+		}
+		out.Targets = append(out.Targets, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedLatKeys(m map[string]godpm.Latency) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown service (statsz v1?)"
+	}
+	return s
+}
+
+// fmtDur renders an uptime compactly (2h3m, 14m2s, 9.1s).
+func fmtDur(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second))
+	if d < 10*time.Second {
+		return fmt.Sprintf("%.1fs", seconds)
+	}
+	return d.Truncate(time.Second).String()
+}
+
+// isTTY reports whether f is an interactive terminal (drives the
+// repaint-in-place vs append rendering choice).
+func isTTY(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godpm"
+)
+
+// fakeStatsz serves a mutable /statsz payload, mimicking one serving
+// process.
+type fakeStatsz struct {
+	payload atomic.Pointer[map[string]any]
+}
+
+func (f *fakeStatsz) set(p map[string]any) { f.payload.Store(&p) }
+
+func (f *fakeStatsz) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/statsz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(*f.payload.Load())
+	})
+}
+
+// latencyFor builds a realistic latency blob by recording durations into
+// the real sketch.
+func latencyFor(ms ...int) godpm.Latency {
+	var h godpm.Histogram
+	for _, m := range ms {
+		h.RecordDuration(time.Duration(m) * time.Millisecond)
+	}
+	return godpm.LatencyOf(h.Snapshot())
+}
+
+func serveStatsz(t *testing.T, payload map[string]any) (*fakeStatsz, string) {
+	t.Helper()
+	f := &fakeStatsz{}
+	f.set(payload)
+	ts := httptest.NewServer(f.handler())
+	t.Cleanup(ts.Close)
+	return f, ts.URL
+}
+
+func dpmservePayload(hits, runs int64, lat godpm.Latency) map[string]any {
+	return map[string]any{
+		"version": 2, "service": "dpmserve", "start_unix_ms": 1700000000000,
+		"uptime_s": 12.5, "hits": hits, "misses": 3, "runs": runs,
+		"deduped": 2, "evictions": 1, "errors": 0,
+		"cache_entries": 4, "cache_bytes": 4096,
+		"hit_rate": 0.8, "dedup_rate": 0.25,
+		"inflight": 1, "max_inflight": 32,
+		"rates_per_s": map[string]float64{"requests": 10.5, "hits": 8.4},
+		"latency":     map[string]godpm.Latency{"simulate": lat},
+	}
+}
+
+func dpmremotePayload(lat godpm.Latency) map[string]any {
+	return map[string]any{
+		"version": 2, "service": "dpmremote", "start_unix_ms": 1700000000000,
+		"uptime_s": 99.0, "gets": 40, "get_hits": 30, "heads": 5,
+		"puts": 10, "put_rejects": 0, "stat_batches": 2,
+		"inflight": 0, "max_inflight": 256,
+		"rates_per_s": map[string]float64{"gets": 4.0},
+		"latency":     map[string]godpm.Latency{"blob_get": lat},
+	}
+}
+
+func TestRenderBothServices(t *testing.T) {
+	_, serveURL := serveStatsz(t, dpmservePayload(12, 5, latencyFor(1, 2, 3, 40)))
+	_, remoteURL := serveStatsz(t, dpmremotePayload(latencyFor(1, 1, 2)))
+
+	states := []*targetState{{URL: serveURL}, {URL: remoteURL}}
+	pollAll(http.DefaultClient, states)
+
+	var b strings.Builder
+	render(&b, states, false)
+	out := b.String()
+	for _, want := range []string{
+		"dpmserve (statsz v2)", "dpmremote (statsz v2)",
+		"runs 5", "hits 12", "gets 40", "get_hits 30",
+		"requests 10.5/s", "simulate:", "blob_get:",
+		"cache:  entries 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// One dpmserve + one dpmremote target share no endpoint names, but
+	// two latency-reporting targets still produce a fleet section.
+	if !strings.Contains(out, "fleet") {
+		t.Fatalf("no fleet section with two latency-reporting targets:\n%s", out)
+	}
+}
+
+func TestDeltasAfterSecondPoll(t *testing.T) {
+	f, url := serveStatsz(t, dpmservePayload(10, 5, latencyFor(2)))
+	states := []*targetState{{URL: url}}
+	pollAll(http.DefaultClient, states)
+	f.set(dpmservePayload(17, 6, latencyFor(2, 3)))
+	pollAll(http.DefaultClient, states)
+
+	var b strings.Builder
+	render(&b, states, false)
+	if !strings.Contains(b.String(), "hits 17 (+7)") {
+		t.Fatalf("want delta column 'hits 17 (+7)' in:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "runs 6 (+1)") {
+		t.Fatalf("want delta column 'runs 6 (+1)' in:\n%s", b.String())
+	}
+}
+
+func TestFleetMergeIsExact(t *testing.T) {
+	a := latencyFor(1, 2, 3)
+	c := latencyFor(100, 200, 300)
+	_, urlA := serveStatsz(t, dpmservePayload(1, 1, a))
+	_, urlB := serveStatsz(t, dpmservePayload(1, 1, c))
+	states := []*targetState{{URL: urlA}, {URL: urlB}}
+	pollAll(http.DefaultClient, states)
+
+	fleet := fleetLatency(states)
+	got, ok := fleet["simulate"]
+	if !ok {
+		t.Fatalf("fleet merge missing simulate endpoint: %v", fleet)
+	}
+	want, err := a.Hist.Merge(c.Hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 6 || got.Hist.Count != want.Count || got.Hist.Sum != want.Sum {
+		t.Fatalf("fleet merge not exact: got count=%d sum=%d, want count=%d sum=%d",
+			got.Hist.Count, got.Hist.Sum, want.Count, want.Sum)
+	}
+	if got.P99Ms != godpm.LatencyOf(want).P99Ms {
+		t.Fatalf("fleet p99 %v != direct merge p99 %v", got.P99Ms, godpm.LatencyOf(want).P99Ms)
+	}
+}
+
+func TestRenderJSONParses(t *testing.T) {
+	_, serveURL := serveStatsz(t, dpmservePayload(12, 5, latencyFor(1, 5)))
+	_, remoteURL := serveStatsz(t, dpmremotePayload(latencyFor(1)))
+	states := []*targetState{{URL: serveURL}, {URL: remoteURL}}
+	pollAll(http.DefaultClient, states)
+
+	var b strings.Builder
+	renderJSON(&b, states)
+	var out jsonOut
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, b.String())
+	}
+	if len(out.Targets) != 2 || out.Targets[0].Statsz == nil {
+		t.Fatalf("unexpected -json shape: %+v", out)
+	}
+	if out.Targets[0].Statsz.Hits != 12 {
+		t.Fatalf("hits = %d, want 12", out.Targets[0].Statsz.Hits)
+	}
+	if out.Targets[1].Statsz.GetHits != 30 {
+		t.Fatalf("get_hits = %d, want 30", out.Targets[1].Statsz.GetHits)
+	}
+	if out.Targets[0].Statsz.Latency["simulate"].Count != 2 {
+		t.Fatalf("simulate latency count = %d, want 2", out.Targets[0].Statsz.Latency["simulate"].Count)
+	}
+}
+
+func TestUnreachableTargetRendersError(t *testing.T) {
+	_, okURL := serveStatsz(t, dpmservePayload(1, 1, latencyFor(1)))
+	states := []*targetState{
+		{URL: okURL},
+		{URL: "http://127.0.0.1:1"}, // nothing listens on port 1
+	}
+	pollAll(http.DefaultClient, states)
+	if allFailed(states) {
+		t.Fatal("allFailed true with one healthy target")
+	}
+	var b strings.Builder
+	render(&b, states, false)
+	if !strings.Contains(b.String(), "UNREACHABLE") {
+		t.Fatalf("dead target not flagged:\n%s", b.String())
+	}
+
+	states = states[1:2]
+	pollAll(http.DefaultClient, states)
+	if !allFailed(states) {
+		t.Fatal("allFailed false with zero healthy targets")
+	}
+}
+
+func TestHistBars(t *testing.T) {
+	if got := histBars(godpm.HistogramSnapshot{}, 6, 24); got != nil {
+		t.Fatalf("empty sketch should render no bars, got %v", got)
+	}
+	l := latencyFor(1, 1, 1, 1, 50, 400)
+	bars := histBars(l.Hist, 3, 10)
+	if len(bars) == 0 || len(bars) > 3 {
+		t.Fatalf("want 1..3 bars, got %d: %v", len(bars), bars)
+	}
+	var total int
+	for _, line := range bars {
+		if !strings.Contains(line, "ms") || !strings.Contains(line, "#") {
+			t.Fatalf("bar line missing unit or bar: %q", line)
+		}
+		total += strings.Count(line, "#")
+	}
+	if total == 0 {
+		t.Fatal("no bar mass rendered")
+	}
+}

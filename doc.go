@@ -19,7 +19,12 @@
 // into tiers (NewTieredCache): memory → disk → a shared hash-addressed
 // result store served by cmd/dpmremote (NewRemoteCache speaks its
 // versioned blob protocol), so a fleet of dpmserve replicas runs each
-// distinct configuration once fleet-wide:
+// distinct configuration once fleet-wide. The serving fleet is
+// observable end to end: both servers expose mergeable latency sketches
+// and rolling rates on /statsz (internal/stats, watched live with
+// cmd/dpmtop), and dpmserve can journal every handled request to an
+// append-only NDJSON file (internal/journal) that the loadgen's -replay
+// mode re-issues with the original request mix and arrival spacing:
 //
 //	cfg := godpm.Config{
 //	    IPs:    []godpm.IPSpec{{Name: "cpu", Sequence: seq}},
@@ -34,7 +39,7 @@
 // harness and the migration notes from the pre-2.0 Config.TraceVCD/
 // TraceCSV fields. The implementation packages remain under internal/
 // (sim, acpi, lem, gem, battery, thermal, rules, workload, bus, soc,
-// engine, experiments), commands under cmd/ (dpmsim, dpmbatch, dpmarena,
-// dpmserve, dpmremote, dpmtable, dpmsweep, dpmtrace, dpmreport, dpmbench)
-// and runnable examples under examples/.
+// engine, experiments, stats, journal), commands under cmd/ (dpmsim,
+// dpmbatch, dpmarena, dpmserve, dpmremote, dpmtop, dpmtable, dpmsweep,
+// dpmtrace, dpmreport, dpmbench) and runnable examples under examples/.
 package godpm

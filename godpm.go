@@ -3,10 +3,12 @@ package godpm
 import (
 	"context"
 	"io"
+	"time"
 
 	"godpm/internal/chaos"
 	"godpm/internal/engine"
 	"godpm/internal/experiments"
+	"godpm/internal/journal"
 	"godpm/internal/rules"
 	"godpm/internal/sim"
 	"godpm/internal/soc"
@@ -497,4 +499,72 @@ func EnergySavingPct(baseJ, dpmJ float64) (float64, error) {
 // ledgers of the same workload.
 func DelayOverheadPct(base, dpm *Ledger) (float64, error) {
 	return stats.DelayOverheadPct(base, dpm)
+}
+
+// Observability: the HDR-style latency sketch, rolling rate counters and
+// the request journal shared by dpmserve, dpmremote, the loadgen,
+// dpmbench and the dpmtop dashboard (see README "Observability").
+type (
+	// Histogram is a fixed-memory log-bucketed sketch with lock-free
+	// concurrent Record; the zero value is ready to use.
+	Histogram = stats.Histogram
+	// HistogramSnapshot is a point-in-time, mergeable, JSON-encodable
+	// histogram; quantile error is bounded by HistRelError.
+	HistogramSnapshot = stats.HistSnapshot
+	// LatencySummary is the shared headline-quantile shape (p50/p90/p99/
+	// max in milliseconds over microsecond observations).
+	LatencySummary = stats.LatencySummary
+	// Latency pairs a LatencySummary with the sketch it came from — the
+	// per-endpoint /statsz shape aggregators merge exactly.
+	Latency = stats.Latency
+	// RateWindow rolls one cumulative counter into a per-second rate.
+	RateWindow = stats.RateWindow
+	// RateSet rolls a named family of cumulative counters (the /statsz
+	// "rates_per_s" object).
+	RateSet = stats.RateSet
+
+	// JournalRecord is one journaled request.
+	JournalRecord = journal.Record
+	// JournalWriter appends size-cap-rotated NDJSON journal files.
+	JournalWriter = journal.Writer
+	// JournalOptions configures OpenJournal.
+	JournalOptions = journal.Options
+	// JournalReader iterates a journal, skipping torn lines.
+	JournalReader = journal.Reader
+)
+
+// HistRelError is the histogram sketch's worst-case relative quantile
+// value error.
+const HistRelError = stats.HistRelError
+
+// Journal endpoint and outcome labels.
+const (
+	JournalEndpointSimulate   = journal.EndpointSimulate
+	JournalEndpointTournament = journal.EndpointTournament
+	JournalOutcomeHit         = journal.OutcomeHit
+	JournalOutcomeRun         = journal.OutcomeRun
+	JournalOutcomeError       = journal.OutcomeError
+	JournalOutcomeCanceled    = journal.OutcomeCanceled
+	JournalOutcomeThrottled   = journal.OutcomeThrottled
+)
+
+// LatencyOf pairs a histogram snapshot with its headline summary.
+func LatencyOf(s HistogramSnapshot) Latency { return stats.LatencyOf(s) }
+
+// NewRateSet builds a rate set whose windows span the given duration (≤0
+// selects the 60s default).
+func NewRateSet(window time.Duration) *RateSet { return stats.NewRateSet(window) }
+
+// OpenJournal creates (or truncates) a request journal at path.
+func OpenJournal(path string, opts JournalOptions) (*JournalWriter, error) {
+	return journal.Open(path, opts)
+}
+
+// NewJournalReader wraps an NDJSON journal stream.
+func NewJournalReader(r io.Reader) *JournalReader { return journal.NewReader(r) }
+
+// ReadJournal loads every record of the journal at path, reporting how
+// many torn/malformed lines were skipped.
+func ReadJournal(path string) (recs []JournalRecord, skipped int, err error) {
+	return journal.ReadFile(path)
 }

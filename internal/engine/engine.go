@@ -23,8 +23,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"godpm/internal/soc"
+	"godpm/internal/stats"
 )
 
 // Options configures an Engine.
@@ -89,6 +91,11 @@ type Stats struct {
 	// than inferred: remote-tier hits are simulations another process
 	// ran.
 	Tiers []TierStats `json:"tiers,omitempty"`
+	// RunLatency is the wall-clock distribution of executed simulations
+	// (cache hits excluded — they are the serving layer's latency, not
+	// the engine's), as a mergeable sketch plus headline quantiles; nil
+	// until the first simulation completes.
+	RunLatency *stats.Latency `json:"run_latency,omitempty"`
 }
 
 // Engine runs plans. It is safe for concurrent use; counters and cache
@@ -103,6 +110,7 @@ type Engine struct {
 	cbMu     sync.Mutex
 
 	hits, misses, runs, errs, canceled, deduped atomic.Int64
+	runLat                                      stats.Histogram
 }
 
 // New builds an engine.
@@ -143,7 +151,20 @@ func (e *Engine) Stats() Stats {
 	if r, ok := e.cache.(TierStatsReporter); ok {
 		st.Tiers = r.TierStats()
 	}
+	if snap := e.runLat.Snapshot(); snap.Count > 0 {
+		l := stats.LatencyOf(snap)
+		st.RunLatency = &l
+	}
 	return st
+}
+
+// simulate runs the job's simulation, recording its wall-clock cost in
+// the run-latency sketch.
+func (e *Engine) simulate(ctx context.Context, job Job) (*soc.Result, error) {
+	t0 := time.Now()
+	r, err := soc.RunWith(ctx, job.Config, job.Options)
+	e.runLat.RecordDuration(time.Since(t0))
+	return r, err
 }
 
 // Run executes every job of the plan and returns the results index-aligned
@@ -278,7 +299,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 	// not interchangeable.
 	if e.cache == nil || job.Options.Volatile() {
 		e.runs.Add(1)
-		jr.Result, jr.Err = soc.RunWith(ctx, job.Config, job.Options)
+		jr.Result, jr.Err = e.simulate(ctx, job)
 		if jr.Err != nil {
 			e.countFailure(jr.Err)
 		}
@@ -329,7 +350,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 		}
 		e.misses.Add(1)
 		e.runs.Add(1)
-		r, runErr := soc.RunWith(ctx, job.Config, job.Options)
+		r, runErr := e.simulate(ctx, job)
 		if runErr == nil {
 			// Put before finish: retired flights send latecomers to the
 			// cache, so it must already hold the result. A cache-write

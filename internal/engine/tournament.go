@@ -333,6 +333,11 @@ func RunTournament(ctx context.Context, eng *Engine, t Tournament) (*TournamentR
 		res.Leaderboard[i].Rank = i + 1
 	}
 	res.Stats = eng.Stats()
+	// Wall-clock latency is volatile — two identical tournaments time
+	// differently — and a TournamentResult's renderings are pinned
+	// byte-identical across worker counts and reruns, so the latency
+	// sketch stays out of the snapshot (servers surface it via /statsz).
+	res.Stats.RunLatency = nil
 	return res, runErr
 }
 

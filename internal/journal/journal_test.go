@@ -1,0 +1,274 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "requests.ndjson")
+	start := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	w, err := Open(path, Options{Start: start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{T: 0.001, Endpoint: EndpointSimulate, Scenario: "A1", Tasks: 20, Seed: 1, Fingerprint: "abc", Outcome: OutcomeRun, Status: 200, LatencyMs: 12.5},
+		{T: 0.250, Endpoint: EndpointSimulate, Scenario: "A1", Tasks: 20, Seed: 1, Fingerprint: "abc", Outcome: OutcomeHit, Status: 200, LatencyMs: 0.8},
+		{T: 0.900, Endpoint: EndpointSimulate, ConfigDigest: "deadbeef", Fingerprint: "def", Outcome: OutcomeError, Status: 422, LatencyMs: 3.0},
+		{T: 1.500, Endpoint: EndpointTournament, Outcome: OutcomeRun, Status: 200, LatencyMs: 420.0},
+	}
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, skipped, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("clean journal reported %d skipped lines", skipped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The header carries the start time.
+	f, _ := os.Open(path)
+	defer f.Close()
+	r := NewReader(f)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Start().Equal(start) {
+		t.Fatalf("header start %v, want %v", r.Start(), start)
+	}
+	// Replayability classification.
+	if !got[0].Replayable() || !got[1].Replayable() {
+		t.Fatal("scenario simulate records must be replayable")
+	}
+	if got[2].Replayable() || got[3].Replayable() {
+		t.Fatal("inline-config and tournament records must not claim replayability")
+	}
+}
+
+// TestTornTailSkipped is the crash-tolerance contract: a process killed
+// mid-append leaves a torn final line; every record before it must still
+// read back, and the tear is counted, not fatal.
+func TestTornTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash.ndjson")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append(Record{T: float64(i), Endpoint: EndpointSimulate, Scenario: "A1", Seed: int64(i), Outcome: OutcomeRun}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: append half a record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":10.0,"endpoint":"simu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, skipped, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("read %d records, want the 10 intact ones", len(recs))
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped %d lines, want exactly the torn tail", skipped)
+	}
+	for i, r := range recs {
+		if r.Seed != int64(i) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+// TestTornMiddleLineSkipped: a journal assembled by concatenating a
+// rotation with the active file can carry a tear mid-stream; reading
+// continues past it.
+func TestTornMiddleLineSkipped(t *testing.T) {
+	in := `{"journal":"godpm","version":1,"start_unix_ms":0}
+{"t":0.1,"endpoint":"simulate","scenario":"A1","outcome":"run","latency_ms":1}
+{"t":0.2,"endpoint":"simu
+{"t":0.3,"endpoint":"simulate","scenario":"A2","outcome":"hit","latency_ms":0.5}
+`
+	r := NewReader(strings.NewReader(in))
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 || recs[0].Scenario != "A1" || recs[1].Scenario != "A2" {
+		t.Fatalf("got %+v, want the two intact records", recs)
+	}
+	if r.Skipped() != 1 {
+		t.Fatalf("skipped %d, want 1", r.Skipped())
+	}
+}
+
+func TestUnsupportedVersionRefused(t *testing.T) {
+	in := `{"journal":"godpm","version":99,"start_unix_ms":0}
+{"t":0.1,"endpoint":"simulate","scenario":"A1","outcome":"run","latency_ms":1}
+`
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version journal read without error: %v", err)
+	}
+}
+
+func TestHeaderlessJournalStillReads(t *testing.T) {
+	in := `{"t":0.1,"endpoint":"simulate","scenario":"A1","outcome":"run","latency_ms":1}`
+	r := NewReader(strings.NewReader(in))
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Scenario != "A1" {
+		t.Fatalf("got %+v", rec)
+	}
+}
+
+// TestRotationBoundsDiskUse: the active file never exceeds the cap, one
+// rotated sibling is kept, and the newest records are always readable.
+func TestRotationBoundsDiskUse(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rot.ndjson")
+	const maxBytes = 2048
+	w, err := Open(path, Options{MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := w.Append(Record{T: float64(i), Endpoint: EndpointSimulate, Scenario: "A1", Seed: int64(i), Outcome: OutcomeRun, LatencyMs: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if fi, err := os.Stat(path); err == nil && fi.Size() > maxBytes {
+			t.Fatalf("active journal %d bytes exceeds cap %d", fi.Size(), maxBytes)
+		}
+	}
+	appended, rotated := w.Stats()
+	if appended != total {
+		t.Fatalf("appended %d, want %d", appended, total)
+	}
+	if rotated == 0 {
+		t.Fatal("no rotation despite tiny cap")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the active file and one rotation exist.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("want active + one rotation, got %v", names)
+	}
+	// Both generations read, both start with a valid header, and the
+	// tail of the active file is the last record appended.
+	recs, skipped, err := ReadFile(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("active: err=%v skipped=%d", err, skipped)
+	}
+	if recs[len(recs)-1].Seed != total-1 {
+		t.Fatalf("active tail seed %d, want %d", recs[len(recs)-1].Seed, total-1)
+	}
+	prev, skipped, err := ReadFile(path + ".1")
+	if err != nil || skipped != 0 {
+		t.Fatalf("rotation: err=%v skipped=%d", err, skipped)
+	}
+	if prev[len(prev)-1].Seed+1 != recs[0].Seed {
+		t.Fatalf("rotation tail %d and active head %d are not contiguous", prev[len(prev)-1].Seed, recs[0].Seed)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "conc.ndjson")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Append(Record{T: 1, Endpoint: EndpointSimulate, Scenario: fmt.Sprintf("S%d", g), Seed: int64(i), Outcome: OutcomeHit}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(recs) != goroutines*per {
+		t.Fatalf("read %d records (%d skipped), want %d clean", len(recs), skipped, goroutines*per)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	w, err := Open(filepath.Join(t.TempDir(), "x.ndjson"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Endpoint: EndpointSimulate, Outcome: OutcomeHit}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -1,0 +1,320 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refQuantile is the sorted-slice reference the sketch is bound against:
+// the smallest sample whose rank reaches ⌈p·n⌉ — the same rank definition
+// HistSnapshot.Quantile uses.
+func refQuantile(sorted []int64, p float64) int64 {
+	n := len(sorted)
+	rank := int64(p * float64(n))
+	if float64(rank) < p*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > int64(n) {
+		rank = int64(n)
+	}
+	return sorted[rank-1]
+}
+
+// distributions is the adversarial input zoo: each returns one sample.
+var distributions = map[string]func(r *rand.Rand) int64{
+	"constant":  func(r *rand.Rand) int64 { return 1234 },
+	"uniform":   func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+	"small":     func(r *rand.Rand) int64 { return r.Int63n(histSubCount) }, // exact-bucket region
+	"two-point": func(r *rand.Rand) int64 { return [2]int64{3, 30_000_000}[r.Intn(2)] },
+	"pareto": func(r *rand.Rand) int64 {
+		// Heavy tail: x = x_m / U^(1/α), α=1.2 — p99 and max live far
+		// from the body, the regime histograms usually butcher.
+		return int64(100 * math.Pow(1-r.Float64(), -1/1.2))
+	},
+	"exponential": func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+	"pow2-edges": func(r *rand.Rand) int64 {
+		// Values hugging bucket boundaries: 2^k−1, 2^k, 2^k+1.
+		k := uint(5 + r.Intn(40))
+		return int64(1)<<k + int64(r.Intn(3)) - 1
+	},
+	"zero-heavy": func(r *rand.Rand) int64 {
+		if r.Intn(4) > 0 {
+			return 0
+		}
+		return r.Int63n(10_000)
+	},
+}
+
+// TestQuantileRankErrorBound is the sketch's accuracy contract: for every
+// distribution and quantile, the sketch answer is ≥ the sorted-slice
+// reference and within the documented relative error above it.
+func TestQuantileRankErrorBound(t *testing.T) {
+	quantiles := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 5; trial++ {
+				n := 1 + r.Intn(5000)
+				var h Histogram
+				samples := make([]int64, n)
+				for i := range samples {
+					samples[i] = gen(r)
+					h.Record(samples[i])
+				}
+				sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+				snap := h.Snapshot()
+				if err := snap.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if snap.Count != int64(n) {
+					t.Fatalf("count %d, recorded %d", snap.Count, n)
+				}
+				if snap.Max != samples[n-1] {
+					t.Fatalf("max %d, want exact %d", snap.Max, samples[n-1])
+				}
+				for _, p := range quantiles {
+					got := snap.Quantile(p)
+					ref := refQuantile(samples, p)
+					if got < ref {
+						t.Fatalf("%s n=%d p=%g: sketch %d < reference %d (quantiles must never understate)", name, n, p, got, ref)
+					}
+					bound := int64(math.Ceil(float64(ref)*(1+HistRelError))) + 1
+					// Max clamping can only tighten the answer.
+					if m := samples[n-1]; bound > m && got == m {
+						continue
+					}
+					if got > bound {
+						t.Fatalf("%s n=%d p=%g: sketch %d > bound %d (reference %d, rel err %g)", name, n, p, got, bound, ref, HistRelError)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeAssociativeCommutative: merging is exact bucket addition, so
+// any grouping and order of replica sketches yields the identical sketch.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	mk := func(gen func(*rand.Rand) int64, n int) HistSnapshot {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Record(gen(r))
+		}
+		return h.Snapshot()
+	}
+	a := mk(distributions["pareto"], 700)
+	b := mk(distributions["uniform"], 1300)
+	c := mk(distributions["two-point"], 50)
+
+	merge := func(x, y HistSnapshot) HistSnapshot {
+		t.Helper()
+		out, err := x.Merge(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	eq := func(x, y HistSnapshot) bool {
+		xb, _ := json.Marshal(x)
+		yb, _ := json.Marshal(y)
+		return string(xb) == string(yb)
+	}
+	if !eq(merge(a, b), merge(b, a)) {
+		t.Fatal("merge is not commutative")
+	}
+	if !eq(merge(merge(a, b), c), merge(a, merge(b, c))) {
+		t.Fatal("merge is not associative")
+	}
+	// The merged sketch equals the sketch of the pooled samples' counts.
+	abc := merge(merge(a, b), c)
+	if abc.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d, want %d", abc.Count, a.Count+b.Count+c.Count)
+	}
+	if abc.Sum != a.Sum+b.Sum+c.Sum {
+		t.Fatalf("merged sum %d, want %d", abc.Sum, a.Sum+b.Sum+c.Sum)
+	}
+	if err := abc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Merging with an empty sketch is the identity.
+	if got := merge(a, HistSnapshot{}); !eq(got, a) {
+		t.Fatal("merge with empty sketch is not the identity")
+	}
+}
+
+// TestMergeEqualsPooledRecording: recording a stream into two sketches and
+// merging equals recording the whole stream into one — the property that
+// makes fleet aggregation honest.
+func TestMergeEqualsPooledRecording(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var pooled, left, right Histogram
+	for i := 0; i < 4000; i++ {
+		v := distributions["exponential"](r)
+		pooled.Record(v)
+		if i%2 == 0 {
+			left.Record(v)
+		} else {
+			right.Record(v)
+		}
+	}
+	merged, err := left.Snapshot().Merge(right.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := json.Marshal(pooled.Snapshot())
+	mb, _ := json.Marshal(merged)
+	if string(pb) != string(mb) {
+		t.Fatalf("merged halves != pooled recording\npooled: %s\nmerged: %s", pb, mb)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		h.Record(distributions["pareto"](r))
+	}
+	snap := h.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 1} {
+		if snap.Quantile(p) != back.Quantile(p) {
+			t.Fatalf("p=%g: %d != %d after round trip", p, snap.Quantile(p), back.Quantile(p))
+		}
+	}
+}
+
+func TestValidateRejectsCorruptSnapshots(t *testing.T) {
+	bad := []HistSnapshot{
+		{Bucket: []int32{1}, N: []int64{1, 2}, Count: 3},        // misaligned
+		{Bucket: []int32{5, 5}, N: []int64{1, 1}, Count: 2},     // duplicate bucket
+		{Bucket: []int32{9, 2}, N: []int64{1, 1}, Count: 2},     // out of order
+		{Bucket: []int32{histBuckets}, N: []int64{1}, Count: 1}, // out of range
+		{Bucket: []int32{1}, N: []int64{0}, Count: 0},           // zero count
+		{Bucket: []int32{1, 2}, N: []int64{1, 1}, Count: 5},     // header mismatch
+		{Bucket: []int32{-1}, N: []int64{1}, Count: 1},          // negative bucket
+		{Bucket: []int32{3}, N: []int64{-2}, Count: -2},         // negative n
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: corrupt snapshot validated", i)
+		}
+		if _, err := (HistSnapshot{}).Merge(s); err == nil {
+			t.Errorf("case %d: merge accepted corrupt operand", i)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord: the sketch's whole point is lock-free hot
+// path recording; run under -race and check nothing is lost.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Record(r.Int63n(1_000_000))
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", snap.Count, goroutines*per)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordClamping(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	h.Record(math.MaxInt64)
+	snap := h.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("count %d, want 2", snap.Count)
+	}
+	if got := snap.Quantile(0); got != 0 {
+		t.Fatalf("negative record should clamp to 0, got quantile %d", got)
+	}
+	if snap.Max != histMaxValue {
+		t.Fatalf("overflow record should clamp to %d, got max %d", histMaxValue, snap.Max)
+	}
+}
+
+func TestLatencySummaryUnits(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(1500 * time.Microsecond)
+	h.RecordDuration(2 * time.Millisecond)
+	sum := h.Snapshot().Summary()
+	if sum.Count != 2 {
+		t.Fatalf("count %d", sum.Count)
+	}
+	if sum.MaxMs != 2.0 {
+		t.Fatalf("max %gms, want 2ms", sum.MaxMs)
+	}
+	if sum.P50Ms < 1.4 || sum.P50Ms > 1.6 {
+		t.Fatalf("p50 %gms, want ≈1.5ms", sum.P50Ms)
+	}
+	if sum.MeanMs < 1.7 || sum.MeanMs > 1.8 {
+		t.Fatalf("mean %gms, want 1.75ms", sum.MeanMs)
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	w := NewRateWindow(10 * time.Second)
+	t0 := time.Unix(1000, 0)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("empty rate %g", got)
+	}
+	w.Observe(t0, 0)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("single-sample rate %g", got)
+	}
+	w.Observe(t0.Add(2*time.Second), 100)
+	if got := w.Rate(); got != 50 {
+		t.Fatalf("rate %g, want 50/s", got)
+	}
+	// Old samples age out: after a long quiet gap the rate reflects the
+	// retained span only.
+	w.Observe(t0.Add(20*time.Second), 100)
+	w.Observe(t0.Add(21*time.Second), 110)
+	got := w.Rate()
+	if got < 9 || got > 11 {
+		t.Fatalf("post-prune rate %g, want ≈10/s", got)
+	}
+	// Counter reset (process restart) restarts the window instead of
+	// reporting a huge negative rate.
+	w.Observe(t0.Add(22*time.Second), 5)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("post-reset rate %g, want 0", got)
+	}
+	// Out-of-order observations are dropped.
+	w.Observe(t0, 99)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("out-of-order observation changed rate to %g", got)
+	}
+}

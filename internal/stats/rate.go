@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow turns a cumulative counter into a rolling rate: feed it
+// periodic observations of the counter's running total and it reports the
+// per-second rate over the retained window. This is how /statsz exposes
+// "hits per second right now" next to "hits since process start" — the
+// servers sample their counters once a second into a RateWindow per
+// counter, and the handler reads Rate.
+//
+// Memory is bounded by the window: samples older than it are pruned, so
+// the reported rate always describes at most the last window's span. Safe
+// for concurrent use.
+type RateWindow struct {
+	mu      sync.Mutex
+	window  time.Duration
+	times   []time.Time
+	totals  []float64
+	started bool
+}
+
+// DefaultRateWindow is the rolling span the serving layers use.
+const DefaultRateWindow = 60 * time.Second
+
+// NewRateWindow builds a window of the given span (≤0 selects
+// DefaultRateWindow).
+func NewRateWindow(window time.Duration) *RateWindow {
+	if window <= 0 {
+		window = DefaultRateWindow
+	}
+	return &RateWindow{window: window}
+}
+
+// Observe records the counter's cumulative total at now. Out-of-order
+// observations (now before the last sample) are dropped; a total below
+// the previous one (counter reset) clears the window and restarts.
+func (w *RateWindow) Observe(now time.Time, total float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.times); n > 0 {
+		if now.Before(w.times[n-1]) {
+			return
+		}
+		if total < w.totals[n-1] {
+			w.times = w.times[:0]
+			w.totals = w.totals[:0]
+		}
+	}
+	w.times = append(w.times, now)
+	w.totals = append(w.totals, total)
+	w.pruneLocked(now)
+}
+
+// pruneLocked drops samples that fell out of the window.
+func (w *RateWindow) pruneLocked(now time.Time) {
+	cutoff := now.Add(-w.window)
+	keepFrom := 0
+	for keepFrom < len(w.times) && w.times[keepFrom].Before(cutoff) {
+		keepFrom++
+	}
+	if keepFrom > 0 {
+		w.times = append(w.times[:0], w.times[keepFrom:]...)
+		w.totals = append(w.totals[:0], w.totals[keepFrom:]...)
+	}
+}
+
+// RateSet rolls a named family of cumulative counters — the servers keep
+// one, feed it a counter snapshot once a second (Sample starts that
+// goroutine), and surface Rates() as the /statsz "rates_per_s" object.
+type RateSet struct {
+	mu      sync.Mutex
+	window  time.Duration
+	windows map[string]*RateWindow
+}
+
+// NewRateSet builds a set whose windows span the given duration (≤0
+// selects DefaultRateWindow).
+func NewRateSet(window time.Duration) *RateSet {
+	if window <= 0 {
+		window = DefaultRateWindow
+	}
+	return &RateSet{window: window, windows: make(map[string]*RateWindow)}
+}
+
+// Observe records one snapshot of the counters' running totals at now.
+func (s *RateSet) Observe(now time.Time, totals map[string]float64) {
+	for name, v := range totals {
+		s.mu.Lock()
+		w := s.windows[name]
+		if w == nil {
+			w = NewRateWindow(s.window)
+			s.windows[name] = w
+		}
+		s.mu.Unlock()
+		w.Observe(now, v)
+	}
+}
+
+// Rates returns every counter's current per-second rate.
+func (s *RateSet) Rates() map[string]float64 {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.windows))
+	wins := make([]*RateWindow, 0, len(s.windows))
+	for name, w := range s.windows {
+		names = append(names, name)
+		wins = append(wins, w)
+	}
+	s.mu.Unlock()
+	out := make(map[string]float64, len(names))
+	for i, name := range names {
+		out[name] = wins[i].Rate()
+	}
+	return out
+}
+
+// Sample starts a goroutine observing totals() every interval (≤0 selects
+// one second), beginning immediately, and returns a stop function (safe
+// to call more than once).
+func (s *RateSet) Sample(interval time.Duration, totals func() map[string]float64) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Observe(time.Now(), totals())
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				s.Observe(now, totals())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Rate returns the counter's per-second rate over the retained span
+// ((newest−oldest)/(t_newest−t_oldest)); 0 with fewer than two samples.
+func (w *RateWindow) Rate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.times)
+	if n < 2 {
+		return 0
+	}
+	span := w.times[n-1].Sub(w.times[0]).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return (w.totals[n-1] - w.totals[0]) / span
+}
