@@ -40,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,8 +56,9 @@ func main() {
 		workers      = flag.Int("workers", 0, "simulation worker pool (0 = NumCPU)")
 		cacheDir     = flag.String("cache", "", "disk cache directory ('' = memory only)")
 		cacheEntries = flag.Int("cache-entries", 0, "in-memory cache entry cap (0 = default)")
-		cacheBytes   = flag.Int64("cache-bytes", 0, "approximate in-memory cache byte cap (0 = unbounded)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "in-memory cache byte cap, exact record accounting (0 = unbounded)")
 		diskBytes    = flag.Int64("disk-bytes", 0, "disk cache size cap in bytes (0 = unbounded)")
+		cacheCodec   = flag.String("cache-codec", "", "disk cache record compression: flate (default) or none")
 		remoteURL    = flag.String("remote-url", "", "dpmremote shared result store base URL ('' = local tiers only)")
 		remoteTO     = flag.Duration("remote-timeout", 2*time.Second, "per-operation remote store timeout")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent requests before 429 (0 = 4×workers)")
@@ -84,6 +86,10 @@ func main() {
 	flag.Parse()
 
 	if *loadgen {
+		if *replayPath != "" && *speedup <= 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: -speedup must be > 0 (got %g)\n", *speedup)
+			os.Exit(2)
+		}
 		targets := []string{*target}
 		if *replicas != "" {
 			targets = targets[:0]
@@ -160,6 +166,7 @@ func main() {
 	s, err := newServer(serverOptions{
 		Workers:        *workers,
 		CacheDir:       *cacheDir,
+		CacheCodec:     *cacheCodec,
 		CacheEntries:   *cacheEntries,
 		CacheBytes:     *cacheBytes,
 		DiskBytes:      *diskBytes,
@@ -230,11 +237,14 @@ func main() {
 
 // serverOptions configures the serving layer.
 type serverOptions struct {
-	Workers       int
-	CacheDir      string
-	CacheEntries  int
-	CacheBytes    int64
-	DiskBytes     int64
+	Workers      int
+	CacheDir     string
+	CacheEntries int
+	CacheBytes   int64
+	DiskBytes    int64
+	// CacheCodec selects the disk cache's record body compression
+	// ("flate" default, "none"); only meaningful with CacheDir.
+	CacheCodec    string
 	RemoteURL     string
 	RemoteTimeout time.Duration
 	MaxInflight   int
@@ -283,6 +293,12 @@ type server struct {
 	stopRates func()
 	requests  atomic.Int64
 	journal   *godpm.JournalWriter
+
+	// tourAborts counts tournament NDJSON streams cut short by the
+	// client: a disconnect detected mid-run (the run is cancelled so
+	// abandoned work stops burning workers) or a failed row/trailer
+	// write. Surfaced in /statsz.
+	tourAborts atomic.Int64
 }
 
 func newServer(o serverOptions) (*server, error) {
@@ -292,6 +308,7 @@ func newServer(o serverOptions) (*server, error) {
 		cache, err = godpm.NewDiskCacheWith(o.CacheDir, godpm.DiskCacheOptions{
 			MaxBytes: o.DiskBytes,
 			Memory:   godpm.LRUOptions{MaxEntries: o.CacheEntries, MaxBytes: o.CacheBytes},
+			Codec:    o.CacheCodec,
 		})
 	} else {
 		cache = godpm.NewLRUCache(godpm.LRUOptions{MaxEntries: o.CacheEntries, MaxBytes: o.CacheBytes})
@@ -518,8 +535,8 @@ type simulateRequest struct {
 // CacheHit true and reports the shared entry's measurements).
 type simulateResponse struct {
 	ID        string  `json:"id"`
-	Key       string  `json:"key"`
 	CacheHit  bool    `json:"cache_hit"`
+	Key       string  `json:"key"`
 	EnergyJ   float64 `json:"energy_j"`
 	DurationS float64 `json:"duration_s"`
 	AvgTempC  float64 `json:"avg_temp_c"`
@@ -531,6 +548,90 @@ type simulateResponse struct {
 	// generator) can cross-check that every replica serves byte-identical
 	// measurements for the same key.
 	Digest string `json:"digest"`
+}
+
+// simulateTail is the cacheable suffix of simulateResponse: every field
+// derived from the cache record alone, nothing per-request. It is
+// marshalled once per record and attached to it (Record.Aux), so a cache
+// hit serves pre-encoded bytes — no json.Marshal, no digest computation —
+// prefixed only with the request's own id and cache_hit flag. Field
+// order must mirror simulateResponse after ID and CacheHit.
+type simulateTail struct {
+	Key       string  `json:"key"`
+	EnergyJ   float64 `json:"energy_j"`
+	DurationS float64 `json:"duration_s"`
+	AvgTempC  float64 `json:"avg_temp_c"`
+	PeakTempC float64 `json:"peak_temp_c"`
+	TasksDone int     `json:"tasks_done"`
+	Completed bool    `json:"completed"`
+	FinalSoC  float64 `json:"final_soc"`
+	Digest    string  `json:"digest"`
+}
+
+// simulateFragment returns the record's pre-encoded response tail — the
+// bytes after the opening '{' of a marshalled simulateTail, built on the
+// record's first serve and cached on it (evicted together).
+func simulateFragment(rec *godpm.CacheRecord, key string, res *godpm.Result) ([]byte, error) {
+	if frag := rec.Aux(); frag != nil {
+		return frag, nil
+	}
+	tail, err := json.Marshal(simulateTail{
+		Key:       key,
+		EnergyJ:   res.EnergyJ,
+		DurationS: res.Duration.Seconds(),
+		AvgTempC:  res.AvgTempC,
+		PeakTempC: res.PeakTempC,
+		TasksDone: res.TasksDone,
+		Completed: res.Completed,
+		FinalSoC:  res.FinalSoC,
+		Digest:    rec.Digest(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	frag := tail[1:]
+	rec.SetAux(frag)
+	return frag, nil
+}
+
+// writeSimulateResponse assembles `{"id":…,"cache_hit":…,` + frag in one
+// buffer and writes it with an explicit Content-Length. This is the
+// /v1/simulate hot path: a cache hit's cost is appending ~30 bytes to a
+// pre-encoded fragment and one socket write.
+func writeSimulateResponse(w http.ResponseWriter, id string, hit bool, frag []byte) {
+	buf := make([]byte, 0, 32+len(id)+len(frag)+1)
+	buf = append(buf, `{"id":`...)
+	buf = appendJSONString(buf, id)
+	buf = append(buf, `,"cache_hit":`...)
+	buf = strconv.AppendBool(buf, hit)
+	buf = append(buf, ',')
+	buf = append(buf, frag...)
+	buf = append(buf, '\n')
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf)
+}
+
+// appendJSONString appends s as a JSON string literal. IDs are
+// scenario/extension names plus a sequence number (ASCII), so only the
+// mandatory escapes are handled; anything ≥ 0x20 passes through, which
+// is valid JSON for valid UTF-8 input.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
 }
 
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -597,10 +698,21 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.observe(t0, rec)
 	res := jr.Result
+	if jr.Record != nil {
+		// Cached job: the response tail is pre-encoded on the record (built
+		// on its first serve), so a hit never re-marshals the result or
+		// recomputes its digest.
+		if frag, err := simulateFragment(jr.Record, jr.Key, res); err == nil {
+			writeSimulateResponse(w, jr.Job.ID, jr.CacheHit, frag)
+			return
+		}
+	}
+	// Uncached (volatile/NoCache) jobs have no record to pin bytes to;
+	// marshal per request.
 	writeJSON(w, simulateResponse{
 		ID:        jr.Job.ID,
-		Key:       jr.Key,
 		CacheHit:  jr.CacheHit,
+		Key:       jr.Key,
 		EnergyJ:   res.EnergyJ,
 		DurationS: res.Duration.Seconds(),
 		AvgTempC:  res.AvgTempC,
@@ -711,39 +823,66 @@ func (s *server) handleTournament(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
-	res, err := godpm.RunTournament(r.Context(), s.eng, tour)
+	// The run gets its own cancellable context so an abandoned stream can
+	// stop it: r.Context() already dies when the client disconnects
+	// mid-run, and cancelTour extends that to disconnects the server only
+	// notices when a row or trailer write fails.
+	ctx, cancelTour := context.WithCancel(r.Context())
+	defer cancelTour()
+	res, err := godpm.RunTournament(ctx, s.eng, tour)
+	defer func() { s.observe(t0, rec) }()
 	if err != nil && res == nil {
+		if r.Context().Err() != nil {
+			// The client went away mid-run and the context cancellation
+			// aborted the tournament — an abandoned stream, not a failure.
+			s.tourAborts.Add(1)
+			rec.Outcome, rec.Status = godpm.JournalOutcomeCanceled, http.StatusOK
+			return
+		}
 		_ = enc.Encode(struct {
 			Done  bool   `json:"done"`
 			Error string `json:"error"`
 		}{false, err.Error()})
 		rec.Outcome, rec.Status = godpm.JournalOutcomeError, http.StatusOK
-		s.observe(t0, rec)
 		return
 	}
 	rec.Outcome, rec.Status = godpm.JournalOutcomeRun, http.StatusOK
 	if err != nil {
 		rec.Outcome = godpm.JournalOutcomeError
 	}
-	defer s.observe(t0, rec)
+	aborted := false
 	for _, standing := range res.Leaderboard {
-		if err := enc.Encode(standing); err != nil {
-			return
+		if encErr := enc.Encode(standing); encErr != nil {
+			aborted = true
+			break
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
-	trailer := struct {
-		Done     bool              `json:"done"`
-		Baseline string            `json:"baseline"`
-		Stats    godpm.EngineStats `json:"stats"`
-		Error    string            `json:"error,omitempty"`
-	}{Done: true, Baseline: res.Baseline, Stats: res.Stats}
-	if err != nil {
-		trailer.Error = err.Error()
+	if !aborted {
+		trailer := struct {
+			Done     bool              `json:"done"`
+			Baseline string            `json:"baseline"`
+			Stats    godpm.EngineStats `json:"stats"`
+			Error    string            `json:"error,omitempty"`
+		}{Done: true, Baseline: res.Baseline, Stats: res.Stats}
+		if err != nil {
+			trailer.Error = err.Error()
+		}
+		// A failed trailer write is the same client disconnect a failed row
+		// write is — without it the client cannot tell a complete
+		// leaderboard from a truncated one, so it must count as an aborted
+		// stream, not be dropped on the floor.
+		if encErr := enc.Encode(trailer); encErr != nil {
+			aborted = true
+		}
 	}
-	_ = enc.Encode(trailer)
+	if aborted {
+		cancelTour()
+		s.tourAborts.Add(1)
+		rec.Outcome = godpm.JournalOutcomeCanceled
+	}
 }
 
 func buildTournament(req tournamentRequest) (godpm.Tournament, error) {
@@ -827,6 +966,11 @@ type statszResponse struct {
 	BusyWorkers int     `json:"busy_workers"`
 	Workers     int     `json:"workers"`
 	UptimeS     float64 `json:"uptime_s"`
+	// TournamentAborts counts NDJSON tournament streams the client
+	// abandoned (disconnect mid-run or failed row/trailer write); the
+	// run's context is cancelled when that happens, so this is also a
+	// count of tournaments whose remaining work was reclaimed.
+	TournamentAborts int64 `json:"tournament_aborted_streams"`
 	// RatesPerS are rolling per-second rates over the last minute
 	// (requests, hits, deduped, runs, evictions, errors), sampled from
 	// the cumulative counters once a second.
@@ -848,17 +992,18 @@ type journalStatus struct {
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	resp := statszResponse{
-		Version:     statszVersion,
-		Service:     "dpmserve",
-		StartUnixMs: s.start.UnixMilli(),
-		EngineStats: st,
-		Inflight:    len(s.inflight),
-		MaxInflight: s.maxInflight,
-		BusyWorkers: s.gate.busy(s.eng.Workers()),
-		Workers:     s.eng.Workers(),
-		UptimeS:     time.Since(s.start).Seconds(),
-		RatesPerS:   s.rates.Rates(),
-		Latency:     map[string]godpm.Latency{},
+		Version:          statszVersion,
+		Service:          "dpmserve",
+		StartUnixMs:      s.start.UnixMilli(),
+		EngineStats:      st,
+		Inflight:         len(s.inflight),
+		MaxInflight:      s.maxInflight,
+		BusyWorkers:      s.gate.busy(s.eng.Workers()),
+		Workers:          s.eng.Workers(),
+		UptimeS:          time.Since(s.start).Seconds(),
+		TournamentAborts: s.tourAborts.Load(),
+		RatesPerS:        s.rates.Rates(),
+		Latency:          map[string]godpm.Latency{},
 	}
 	if snap := s.latSim.Snapshot(); snap.Count > 0 {
 		resp.Latency[godpm.JournalEndpointSimulate] = godpm.LatencyOf(snap)
@@ -1110,7 +1255,10 @@ func runReplay(o replayOptions) (loadReport, error) {
 		return loadReport{}, fmt.Errorf("replay: no targets")
 	}
 	if o.Speedup <= 0 {
-		o.Speedup = 1
+		// The speedup divides arrival offsets; zero or negative would turn
+		// the schedule into NaN/negative due-times — refuse loudly rather
+		// than silently substituting a default.
+		return loadReport{}, fmt.Errorf("replay: -speedup must be > 0 (got %g)", o.Speedup)
 	}
 	if o.Concurrency < 1 {
 		o.Concurrency = 1

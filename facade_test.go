@@ -136,11 +136,19 @@ func TestBoundedCachesThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := disk.Put("cafe0123", &godpm.Result{EnergyJ: 1}); err != nil {
+	rec, err := godpm.NewCacheRecord("cafe0123", &godpm.Result{EnergyJ: 1})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if r, ok := disk.Get("cafe0123"); !ok || r.EnergyJ != 1 {
-		t.Fatalf("disk round trip: ok=%v r=%+v", ok, r)
+	if err := disk.Put("cafe0123", rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := disk.Get("cafe0123")
+	if !ok {
+		t.Fatal("disk round trip missed")
+	}
+	if r, err := got.Result(); err != nil || r.EnergyJ != 1 {
+		t.Fatalf("disk round trip: err=%v r=%+v", err, r)
 	}
 }
 

@@ -184,19 +184,27 @@ type (
 	Job = engine.Job
 	// JobResult is one job's outcome (result, cache hit, error).
 	JobResult = engine.JobResult
-	// Cache stores results by fingerprint (see NewLRUCache/NewDiskCache).
-	// Results handed out by Cache.Get are shared across jobs, engines and
+	// Cache stores records by fingerprint (see NewLRUCache/NewDiskCache).
+	// Records handed out by Cache.Get are shared across jobs, engines and
 	// — under dpmserve — HTTP requests: treat them as strictly immutable.
 	Cache = engine.Cache
+	// CacheRecord is the unit every cache tier stores and every server
+	// serves: one result's pre-encoded canonical bytes (versioned binary
+	// container, compressed body, checksum, cached content digest) plus
+	// the lazily-decoded Result. See NewCacheRecord/DecodeCacheRecord.
+	CacheRecord = engine.Record
+	// CacheCodec identifies a record body's compression (the container's
+	// codec byte).
+	CacheCodec = engine.Codec
 	// LRUCache is the sharded, bounded in-memory cache (the engine's
 	// default when EngineOptions.Cache is nil).
 	LRUCache = engine.LRU
 	// LRUOptions bounds an LRUCache (entry cap, approximate byte cap,
 	// shard count).
 	LRUOptions = engine.LRUOptions
-	// DiskCache is the directory-backed result cache (bounded memory
-	// front + one JSON file per fingerprint). It also serves as the
-	// store behind a BlobServer.
+	// DiskCache is the directory-backed record cache (bounded memory
+	// front + one binary record container per fingerprint). It also
+	// serves as the store behind a BlobServer.
 	DiskCache = engine.Disk
 	// DiskCacheOptions bounds a disk cache (on-disk byte cap with
 	// LRU-by-mtime GC, front-memory bounds).
@@ -246,6 +254,22 @@ const (
 	TierDisk   = engine.TierDisk
 	TierRemote = engine.TierRemote
 )
+
+// Record body codecs (see DiskCacheOptions.Codec for the string knob).
+const (
+	// CodecRaw stores canonical JSON uncompressed.
+	CodecRaw = engine.CodecRaw
+	// CodecFlate (the default) compresses bodies with DEFLATE.
+	CodecFlate = engine.CodecFlate
+)
+
+// NewCacheRecord builds a cache record from a computed result,
+// marshalling it exactly once; DecodeCacheRecord parses (and checksums)
+// an encoded container without decompressing its body.
+func NewCacheRecord(key string, r *Result) (*CacheRecord, error) { return engine.NewRecord(key, r) }
+
+// DecodeCacheRecord parses a binary record container (see CacheRecord).
+func DecodeCacheRecord(data []byte) (*CacheRecord, error) { return engine.DecodeRecord(data) }
 
 // Deterministic fault injection: seed-driven chaos schedules for proving
 // the cache fleet's failure contracts (see internal/chaos).

@@ -130,7 +130,11 @@ func TestTierFaultsAreMissesAndErrors(t *testing.T) {
 	inner := engine.NewLRU(engine.LRUOptions{})
 	key := "00112233445566778899aabbccddeeff"
 	res := &soc.Result{EnergyJ: 1.5, Completed: true}
-	if err := inner.Put(key, res); err != nil {
+	rec, err := engine.NewRecord(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Put(key, rec); err != nil {
 		t.Fatal(err)
 	}
 
@@ -140,19 +144,19 @@ func TestTierFaultsAreMissesAndErrors(t *testing.T) {
 	if _, ok := tier.Get(key); ok {
 		t.Fatal("faulted Get hit")
 	}
-	if err := tier.Put(key, res); err == nil {
+	if err := tier.Put(key, rec); err == nil {
 		t.Fatal("faulted Put returned nil")
 	} else if !errors.Is(err, ErrInjected) {
 		t.Fatalf("faulted Put error %v does not wrap ErrInjected", err)
 	}
 	// Faults never reached the inner cache's contents.
-	if got, ok := inner.Get(key); !ok || engine.ResultDigest(got) != engine.ResultDigest(res) {
+	if got, ok := inner.Get(key); !ok || got.Digest() != engine.ResultDigest(res) {
 		t.Fatal("inner cache entry disturbed by faulted ops")
 	}
 
 	// A zero spec is transparent.
 	clear := NewTier(inner, workload.NewSeed(5), Spec{})
-	if got, ok := clear.Get(key); !ok || engine.ResultDigest(got) != engine.ResultDigest(res) {
+	if got, ok := clear.Get(key); !ok || got.Digest() != engine.ResultDigest(res) {
 		t.Fatal("clear tier did not pass the entry through")
 	}
 	if !clear.Has(key) {

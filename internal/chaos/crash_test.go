@@ -11,20 +11,29 @@ import (
 	"godpm/internal/workload"
 )
 
+func mustRec(t *testing.T, key string, r *soc.Result) *engine.Record {
+	t.Helper()
+	rec, err := engine.NewRecord(key, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
 func mustPut(t *testing.T, dir, key string, r *soc.Result, sync bool) {
 	t.Helper()
 	d, err := engine.NewDiskWith(dir, engine.DiskOptions{Sync: sync})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Put(key, r); err != nil {
+	if err := d.Put(key, mustRec(t, key, r)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // reopenGet reopens the cache directory fresh (recovery: temp sweep +
 // corrupt-entry healing on Get) and probes the slot.
-func reopenGet(t *testing.T, dir, key string) (*soc.Result, bool) {
+func reopenGet(t *testing.T, dir, key string) (*engine.Record, bool) {
 	t.Helper()
 	d, err := engine.NewDiskWith(dir, engine.DiskOptions{})
 	if err != nil {
@@ -59,7 +68,7 @@ func TestDiskCrashPointRecovery(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := d.Put(key, newRes); err != nil {
+			if err := d.Put(key, mustRec(t, key, newRes)); err != nil {
 				t.Fatalf("%s: clean modelled Put failed: %v", name, err)
 			}
 			nOps := probe.Ops()
@@ -80,7 +89,7 @@ func TestDiskCrashPointRecovery(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				putErr := d.Put(key, newRes)
+				putErr := d.Put(key, mustRec(t, key, newRes))
 				if !fs.Crashed() {
 					fs.Crash()
 				}
@@ -94,7 +103,7 @@ func TestDiskCrashPointRecovery(t *testing.T) {
 				got, ok := reopenGet(t, dir, key)
 				switch {
 				case ok:
-					dig := engine.ResultDigest(got)
+					dig := got.Digest()
 					if dig != oldDig && dig != newDig {
 						t.Fatalf("%s k=%d: slot holds a third value after crash", name, k)
 					}
@@ -114,10 +123,10 @@ func TestDiskCrashPointRecovery(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if err := dh.Put(key, newRes); err != nil {
+					if err := dh.Put(key, mustRec(t, key, newRes)); err != nil {
 						t.Fatalf("%s k=%d: healing Put failed: %v", name, k, err)
 					}
-					if got, ok := dh.Get(key); !ok || engine.ResultDigest(got) != newDig {
+					if got, ok := dh.Get(key); !ok || got.Digest() != newDig {
 						t.Fatalf("%s k=%d: slot did not heal after Put", name, k)
 					}
 				}
@@ -150,7 +159,7 @@ func TestCrashFSTearsUnsyncedRename(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := d.Put(key, res); err != nil {
+		if err := d.Put(key, mustRec(t, key, res)); err != nil {
 			t.Fatal(err)
 		}
 		fs.Crash()
@@ -169,12 +178,12 @@ func TestCrashFSTearsUnsyncedRename(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Put(key, res); err != nil {
+	if err := d.Put(key, mustRec(t, key, res)); err != nil {
 		t.Fatal(err)
 	}
 	fs.Crash()
 	got, ok := reopenGet(t, dir, key)
-	if !ok || engine.ResultDigest(got) != engine.ResultDigest(res) {
+	if !ok || got.Digest() != engine.ResultDigest(res) {
 		t.Fatal("synced Put's acked entry did not survive the crash")
 	}
 }
@@ -193,7 +202,7 @@ func TestFaultFSTornWritesFailOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Put(key, res); err == nil {
+	if err := d.Put(key, mustRec(t, key, res)); err == nil {
 		t.Fatal("torn write did not fail the Put")
 	} else if !errors.Is(err, ErrInjected) {
 		t.Fatalf("Put error %v does not wrap ErrInjected", err)
@@ -210,10 +219,10 @@ func TestFaultFSTornWritesFailOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := clean.Put(key, res); err != nil {
+	if err := clean.Put(key, mustRec(t, key, res)); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := reopenGet(t, dir, key); !ok || engine.ResultDigest(got) != engine.ResultDigest(res) {
+	if got, ok := reopenGet(t, dir, key); !ok || got.Digest() != engine.ResultDigest(res) {
 		t.Fatal("slot did not heal")
 	}
 }

@@ -171,7 +171,7 @@ func TestFleetInvariantsUnderChaos(t *testing.T) {
 		// The local tier must hold only oracle-digest entries: promotion
 		// never laundered a corrupt remote body into the replica.
 		for key, want := range keyDigest {
-			if got, ok := inner.Get(key); ok && engine.ResultDigest(got) != want {
+			if got, ok := inner.Get(key); ok && got.Digest() != want {
 				t.Fatalf("replica %d: local tier poisoned for %s", rep, key)
 			}
 		}
@@ -201,7 +201,7 @@ func TestFleetInvariantsUnderChaos(t *testing.T) {
 			continue
 		}
 		storeEntries++
-		if engine.ResultDigest(got) != want {
+		if got.Digest() != want {
 			t.Fatalf("shared store poisoned for %s", key)
 		}
 	}

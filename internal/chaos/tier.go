@@ -6,17 +6,16 @@ import (
 	"time"
 
 	"godpm/internal/engine"
-	"godpm/internal/soc"
 	"godpm/internal/workload"
 )
 
 // Tier wraps an engine.Cache with a deterministic fault schedule. This
-// seam carries decoded values, not bytes, so faults map onto the Cache
-// contract's only two failure shapes: a faulted Get is a miss, a faulted
-// Put returns an error. Corrupt/torn decisions degrade to the same —
-// fabricating a corrupted *soc.Result here would poison callers by
-// construction, which is exactly the bug class the byte-level seams
-// (RoundTripper, FaultFS) exist to exercise instead.
+// seam carries whole records, not raw bytes, so faults map onto the
+// Cache contract's only two failure shapes: a faulted Get is a miss, a
+// faulted Put returns an error. Corrupt/torn decisions degrade to the
+// same — fabricating a corrupted *engine.Record here would poison
+// callers by construction, which is exactly the bug class the
+// byte-level seams (RoundTripper, FaultFS) exist to exercise instead.
 //
 // Gets and Puts draw from independent schedules (independent seed
 // splits), so the mix of operations does not perturb either stream.
@@ -38,7 +37,7 @@ func NewTier(inner engine.Cache, seed workload.Seed, spec Spec) *Tier {
 // Get applies the schedule, then delegates. Faulted Gets are misses —
 // the tier contract has no way to say more, and the engine must treat
 // any tier failure as "simulate it yourself".
-func (t *Tier) Get(key string) (*soc.Result, bool) {
+func (t *Tier) Get(key string) (*engine.Record, bool) {
 	d := t.get.Next()
 	if d.Latency > 0 {
 		time.Sleep(d.Latency)
@@ -52,7 +51,7 @@ func (t *Tier) Get(key string) (*soc.Result, bool) {
 // Put applies the schedule, then delegates. Faulted Puts error without
 // touching the inner cache (the entry is simply not stored — a lost
 // replication opportunity, which callers must already tolerate).
-func (t *Tier) Put(key string, r *soc.Result) error {
+func (t *Tier) Put(key string, rec *engine.Record) error {
 	d := t.put.Next()
 	if d.Latency > 0 {
 		time.Sleep(d.Latency)
@@ -60,7 +59,7 @@ func (t *Tier) Put(key string, r *soc.Result) error {
 	if d.Fault != FaultNone {
 		return fmt.Errorf("chaos: put %s: %w", d.Fault, ErrInjected)
 	}
-	return t.inner.Put(key, r)
+	return t.inner.Put(key, rec)
 }
 
 // GetStats and PutStats snapshot the two schedules' counters, which an

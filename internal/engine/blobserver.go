@@ -52,9 +52,13 @@ type BlobServerStats struct {
 //	POST /v1/stat
 //
 // Fingerprints are validated before they address the store, so request
-// paths can never escape it. PUT bodies must decode as results — an
-// undecodable upload is refused with 422 rather than stored, so one
-// misbehaving client cannot poison the fleet's shared entries.
+// paths can never escape it. GET bodies are content-negotiated: a client
+// accepting application/x-gdpm-record gets the stored binary container
+// verbatim — an io.Copy of pre-encoded bytes, no per-GET marshal — and a
+// legacy client gets canonical JSON. PUT accepts either format, and the
+// body must fully decode as a result whichever it is — an undecodable
+// or digest-mismatched upload is refused with 422 rather than stored,
+// so one misbehaving client cannot poison the fleet's shared entries.
 //
 // BlobServer is an http.Handler; liveness, stats surfacing and drain
 // orchestration belong to the embedding command (see cmd/dpmremote).
@@ -119,7 +123,7 @@ func (s *BlobServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case http.MethodHead:
 			s.handleHead(w, key)
 		case http.MethodGet:
-			s.handleGet(w, key)
+			s.handleGet(w, r, key)
 		case http.MethodPut:
 			s.handlePut(w, r, key)
 		default:
@@ -146,25 +150,42 @@ func (s *BlobServer) handleHead(w http.ResponseWriter, key string) {
 	w.WriteHeader(http.StatusOK)
 }
 
-func (s *BlobServer) handleGet(w http.ResponseWriter, key string) {
+func (s *BlobServer) handleGet(w http.ResponseWriter, r *http.Request, key string) {
 	s.gets.Add(1)
-	res, ok := s.store.Get(key)
+	rec, ok := s.store.Get(key)
 	if !ok {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
 	}
 	s.getHits.Add(1)
-	data, err := json.Marshal(res)
+	var (
+		data  []byte
+		err   error
+		ctype string
+	)
+	if strings.Contains(r.Header.Get("Accept"), RecordContentType) {
+		// Record-speaking client: the stored container is the response —
+		// already compressed, already checksummed, encoded at most once in
+		// this process's lifetime.
+		data, err = rec.Encode(CodecFlate)
+		ctype = RecordContentType
+	} else {
+		// Legacy client: canonical JSON, inflated lazily and cached on the
+		// record.
+		data, err = rec.JSON()
+		ctype = "application/json"
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", ctype)
 	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
 	// The digest lets the client verify the body end-to-end: a flipped
-	// byte in flight that still decodes as JSON is caught at the client
-	// instead of promoted into its local tiers.
-	w.Header().Set(digestHeader, ResultDigest(res))
+	// byte in flight that still decodes cleanly is caught at the client
+	// instead of promoted into its local tiers. It comes straight from
+	// the record header — vouching costs no decode.
+	w.Header().Set(digestHeader, rec.Digest())
 	w.Write(data)
 }
 
@@ -176,21 +197,42 @@ func (s *BlobServer) handlePut(w http.ResponseWriter, r *http.Request, key strin
 		http.Error(w, "body exceeds max blob size", http.StatusRequestEntityTooLarge)
 		return
 	}
-	var res soc.Result
-	if err := json.Unmarshal(data, &res); err != nil {
+	var (
+		rec    *Record
+		decErr error
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), RecordContentType) ||
+		(len(data) >= 4 && string(data[:4]) == recordMagic) {
+		rec, decErr = DecodeRecord(data)
+		if decErr == nil && rec.Key() != key {
+			decErr = fmt.Errorf("record keyed %q", rec.Key())
+		}
+	} else {
+		rec, decErr = RecordFromJSON(key, data)
+	}
+	var res *soc.Result
+	if decErr == nil {
+		// Decode all the way: a container whose header checks out but
+		// whose body does not inflate and unmarshal must be refused, not
+		// stored for the fleet.
+		res, decErr = rec.Result()
+	}
+	if decErr != nil {
 		s.putRejects.Add(1)
 		http.Error(w, "body is not a result record", http.StatusUnprocessableEntity)
 		return
 	}
-	// When the uploader claims a digest, hold the decoded body to it: an
-	// upload corrupted in flight is refused here instead of stored as a
-	// poisoned entry the whole fleet would then share.
-	if claimed := r.Header.Get(digestHeader); claimed != "" && ResultDigest(&res) != claimed {
+	// Hold the decoded body to the digests claimed for it — the request
+	// header's and the container's own: an upload corrupted in flight
+	// (or carrying a lying header) is refused here instead of stored as
+	// a poisoned entry the whole fleet would then share.
+	claimed := r.Header.Get(digestHeader)
+	if want := ResultDigest(res); (claimed != "" && want != claimed) || want != rec.Digest() {
 		s.putRejects.Add(1)
 		http.Error(w, "body does not match claimed digest", http.StatusUnprocessableEntity)
 		return
 	}
-	if err := s.store.Put(key, &res); err != nil {
+	if err := s.store.Put(key, rec); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}

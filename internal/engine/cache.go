@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"encoding/json"
 	"fmt"
 	"log"
 	"os"
@@ -10,25 +9,27 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"godpm/internal/soc"
 )
 
-// Cache stores simulation results by configuration fingerprint. Results
-// handed out by Get are shared — with singleflight dedup and a serving
-// layer on top, one entry may back many concurrent jobs and HTTP
-// responses, so callers must treat them as strictly immutable: never
-// mutate a Result (or its Ledger/maps) obtained from a Cache.
+// Cache stores simulation records by configuration fingerprint. Every
+// tier deals in *Record — the encoded canonical bytes plus the lazily
+// decoded Result — so a value crosses tiers (memory → disk → remote)
+// and reaches a socket without ever being re-marshalled. Records handed
+// out by Get are shared — with singleflight dedup and a serving layer
+// on top, one entry may back many concurrent jobs and HTTP responses,
+// so callers must treat them as strictly immutable: never mutate a
+// Record, or a Result (or its Ledger/maps) obtained from one.
 // Implementations must be safe for concurrent use.
 type Cache interface {
-	Get(key string) (*soc.Result, bool)
-	Put(key string, r *soc.Result) error
+	Get(key string) (*Record, bool)
+	Put(key string, rec *Record) error
 }
 
 // CacheStats are a cache's occupancy and eviction counters.
 type CacheStats struct {
-	// Entries and Bytes are the current occupancy (Bytes is approximate;
-	// for Disk it is the on-disk payload size).
+	// Entries and Bytes are the current occupancy. Bytes is exact in
+	// record terms: for the LRU it is the sum of live records' MemSize,
+	// for Disk the total encoded container size on disk.
 	Entries int64 `json:"entries"`
 	Bytes   int64 `json:"bytes"`
 	// Evictions counts entries dropped to enforce a bound.
@@ -44,11 +45,17 @@ type StatsReporter interface {
 // DiskOptions bounds a disk cache. The zero value means: default
 // front-memory bounds, no on-disk size cap, no fsync, real filesystem.
 type DiskOptions struct {
-	// MaxBytes caps the total size of the cached *.json payloads; when an
-	// insert overflows it, the least-recently-modified entries are
+	// MaxBytes caps the total size of the cached *.rec containers; when
+	// an insert overflows it, the least-recently-modified entries are
 	// deleted until the cache fits under 90% of the cap (the hysteresis
 	// amortises the GC's directory scan). 0 means unbounded.
 	MaxBytes int64
+	// Codec selects the record body compression for new entries: "" or
+	// "flate" (the default, DEFLATE via stdlib), "none"/"raw"
+	// (uncompressed). "zstd" has a reserved slot in the format but is not
+	// built into this binary and is refused at open time. Entries written
+	// with any supported codec remain readable regardless of this knob.
+	Codec string
 	// Memory bounds the in-process front cache (see LRUOptions); the
 	// zero value selects the LRU defaults.
 	Memory LRUOptions
@@ -67,21 +74,27 @@ type DiskOptions struct {
 	FS FS
 }
 
-// Disk is a directory-backed result cache: one JSON file per fingerprint.
-// It layers a bounded LRU in front of the files, so within one process
-// each entry is deserialised at most once while hot. Safe for concurrent
-// use within a process; concurrent writers in separate processes are
-// harmless because writes are atomic (write-to-temp + rename) and entries
-// are content-addressed.
+// Disk is a directory-backed record cache: one binary record container
+// (`<fingerprint>.rec`, see Record) per entry. It layers a bounded LRU in
+// front of the files, so within one process each entry is read and
+// checksummed at most once while hot — and thanks to the record's lazy
+// decode, only ever unmarshalled if a consumer needs the decoded Result.
+// Safe for concurrent use within a process; concurrent writers in
+// separate processes are harmless because writes are atomic
+// (write-to-temp + rename) and entries are content-addressed.
 //
-// Opening the cache sweeps temp files abandoned by crashed writers, and a
-// Get that finds a corrupt or stale-format entry deletes it so the slot
-// heals with the next Put instead of re-missing every process lifetime.
+// Opening the cache sweeps temp files abandoned by crashed writers and
+// deletes legacy pre-record `*.json` entries (the old format); those keys
+// heal by re-simulation on their next miss and are rewritten in the new
+// format — stale bytes can never poison a result. A Get that finds a
+// corrupt or stale-format entry deletes it so the slot heals with the
+// next Put instead of re-missing every process lifetime.
 type Disk struct {
-	dir  string
-	mem  *LRU
-	fs   FS
-	sync bool
+	dir   string
+	mem   *LRU
+	fs    FS
+	sync  bool
+	codec Codec
 
 	diskHits, diskMisses atomic.Int64
 	// touchBroken latches after the first failed mtime refresh (e.g. a
@@ -91,11 +104,18 @@ type Disk struct {
 	touchBroken atomic.Bool
 
 	gcMu      sync.Mutex
-	bytes     int64 // approximate total size of *.json payloads
-	entries   int64 // approximate count of *.json entries
+	bytes     int64 // total size of *.rec containers
+	entries   int64 // count of *.rec entries
 	maxBytes  int64
 	evictions int64
 }
+
+// recExt is the on-disk extension of binary record containers; the
+// pre-record format used legacyExt and is swept at open time.
+const (
+	recExt    = ".rec"
+	legacyExt = ".json"
+)
 
 // NewDisk opens (creating if needed) an unbounded disk cache rooted at
 // dir, sweeping stale temp files left by crashed writers.
@@ -112,8 +132,13 @@ func NewDiskWith(dir string, opts DiskOptions) (*Disk, error) {
 	if fs == nil {
 		fs = OSFS
 	}
-	c := &Disk{dir: dir, mem: NewLRU(opts.Memory), fs: fs, sync: opts.Sync, maxBytes: opts.MaxBytes}
+	codec, err := ParseCodec(opts.Codec)
+	if err != nil {
+		return nil, err
+	}
+	c := &Disk{dir: dir, mem: NewLRU(opts.Memory), fs: fs, sync: opts.Sync, codec: codec, maxBytes: opts.MaxBytes}
 	c.sweepTemp()
+	c.sweepLegacy()
 	c.bytes, c.entries = c.scan()
 	if c.maxBytes > 0 {
 		c.gc()
@@ -122,7 +147,7 @@ func NewDiskWith(dir string, opts DiskOptions) (*Disk, error) {
 }
 
 func (c *Disk) path(key string) string {
-	return filepath.Join(c.dir, key+".json")
+	return filepath.Join(c.dir, key+recExt)
 }
 
 // sweepTemp removes temp files abandoned by writers that crashed between
@@ -139,9 +164,32 @@ func (c *Disk) sweepTemp() {
 	}
 }
 
-// scan counts the current *.json payloads and their total size.
+// sweepLegacy deletes pre-record `*.json` entries: the old format cannot
+// be trusted to round-trip through the current decoder, so migration is
+// by re-simulation — each swept key serves one miss, the engine
+// recomputes it, and the slot is rewritten as a `*.rec` container.
+// Content addressing makes this safe (a fingerprint's result is
+// recomputable by construction), and it guarantees stale-format bytes
+// can never poison a response.
+func (c *Disk) sweepLegacy() {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*"+legacyExt))
+	if err != nil || len(matches) == 0 {
+		return
+	}
+	swept := 0
+	for _, m := range matches {
+		if c.fs.Remove(m) == nil {
+			swept++
+		}
+	}
+	if swept > 0 {
+		log.Printf("engine: disk cache %s: removed %d legacy JSON entries (format migration; keys heal by re-simulation)", c.dir, swept)
+	}
+}
+
+// scan counts the current *.rec containers and their total size.
 func (c *Disk) scan() (bytes, entries int64) {
-	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*"+recExt))
 	if err != nil {
 		return 0, 0
 	}
@@ -154,10 +202,13 @@ func (c *Disk) scan() (bytes, entries int64) {
 	return bytes, entries
 }
 
-// Get returns the cached result for key from memory or disk.
-func (c *Disk) Get(key string) (*soc.Result, bool) {
-	if r, ok := c.mem.Get(key); ok {
-		return r, true
+// Get returns the cached record for key from memory or disk. A disk load
+// validates the container header and body checksum (cheap — no
+// decompression) before promoting to the front memory, so a torn or
+// bit-rotted file is deleted and reported as a miss, never served.
+func (c *Disk) Get(key string) (*Record, bool) {
+	if rec, ok := c.mem.Get(key); ok {
+		return rec, true
 	}
 	path := c.path(key)
 	data, err := os.ReadFile(path)
@@ -165,19 +216,19 @@ func (c *Disk) Get(key string) (*soc.Result, bool) {
 		c.diskMisses.Add(1)
 		return nil, false
 	}
-	var r soc.Result
-	if err := json.Unmarshal(data, &r); err != nil {
-		// A corrupt or stale-format entry can never hit again; delete it
-		// so the next Put heals the slot instead of the key re-missing
-		// every process lifetime.
+	rec, err := DecodeRecord(data)
+	if err != nil || rec.Key() != key {
+		// A corrupt, mis-keyed or stale-format entry can never hit again;
+		// delete it so the next Put heals the slot instead of the key
+		// re-missing every process lifetime.
 		c.remove(path, int64(len(data)))
 		c.diskMisses.Add(1)
 		return nil, false
 	}
 	c.touch(path)
 	c.diskHits.Add(1)
-	c.mem.Put(key, &r)
-	return &r, true
+	c.mem.Put(key, rec)
+	return rec, true
 }
 
 // touch refreshes the entry's mtime so the size-cap GC's recency order
@@ -209,16 +260,19 @@ func (c *Disk) Has(key string) bool {
 	return err == nil
 }
 
-// Put stores a result in memory and on disk, then enforces the size cap.
-// The on-disk write is atomic (temp + rename); with DiskOptions.Sync it
-// is additionally crash-consistent: the payload is fsynced before the
-// rename publishes it, so a crash at any point leaves the slot holding
-// the old entry, the complete new entry, or nothing — never a torn file.
-func (c *Disk) Put(key string, r *soc.Result) error {
-	c.mem.Put(key, r)
-	data, err := json.Marshal(r)
+// Put stores a record in memory and on disk, then enforces the size cap.
+// The on-disk payload is the record's binary container (compressed per
+// DiskOptions.Codec) — encoding is cached on the record, so a record
+// replicated to several stores compresses once. The write is atomic
+// (temp + rename); with DiskOptions.Sync it is additionally
+// crash-consistent: the payload is fsynced before the rename publishes
+// it, so a crash at any point leaves the slot holding the old entry, the
+// complete new entry, or nothing — never a torn file.
+func (c *Disk) Put(key string, rec *Record) error {
+	c.mem.Put(key, rec)
+	data, err := rec.Encode(c.codec)
 	if err != nil {
-		return fmt.Errorf("engine: encode result: %w", err)
+		return fmt.Errorf("engine: encode record: %w", err)
 	}
 	tmp, err := c.fs.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
@@ -298,7 +352,7 @@ func (c *Disk) remove(path string, size int64) {
 func (c *Disk) gc() {
 	c.gcMu.Lock()
 	defer c.gcMu.Unlock()
-	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*"+recExt))
 	if err != nil {
 		return
 	}

@@ -20,18 +20,42 @@ func listFiles(t *testing.T, dir, pattern string) []string {
 	return matches
 }
 
+// mustRecord wraps a result into a cache record or fails the test.
+func mustRecord(t testing.TB, key string, r *soc.Result) *engine.Record {
+	t.Helper()
+	rec, err := engine.NewRecord(key, r)
+	if err != nil {
+		t.Fatalf("NewRecord: %v", err)
+	}
+	return rec
+}
+
+// energyHit decodes a fetched record and returns its EnergyJ.
+func energyHit(t testing.TB, rec *engine.Record) float64 {
+	t.Helper()
+	r, err := rec.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return r.EnergyJ
+}
+
 // TestDiskSweepsStaleTempFiles pins the crash-leak fix: temp files
 // abandoned between CreateTemp and the atomic rename are removed when the
 // cache is opened, and committed entries are untouched.
 func TestDiskSweepsStaleTempFiles(t *testing.T) {
 	dir := t.TempDir()
+	seed, err := engine.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put("abc123", mustRecord(t, "abc123", &soc.Result{EnergyJ: 1})); err != nil {
+		t.Fatal(err)
+	}
 	for _, name := range []string{"abc123.tmp42", "def456.tmp", "ghi789.tmp999"} {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-	}
-	if err := os.WriteFile(filepath.Join(dir, "live.json"), []byte(`{"EnergyJ":1}`), 0o644); err != nil {
-		t.Fatal(err)
 	}
 
 	if _, err := engine.NewDisk(dir); err != nil {
@@ -40,7 +64,7 @@ func TestDiskSweepsStaleTempFiles(t *testing.T) {
 	if left := listFiles(t, dir, "*.tmp*"); len(left) != 0 {
 		t.Fatalf("stale temp files survived the janitor: %v", left)
 	}
-	if left := listFiles(t, dir, "*.json"); len(left) != 1 {
+	if left := listFiles(t, dir, "*.rec"); len(left) != 1 {
 		t.Fatalf("janitor touched committed entries: %v", left)
 	}
 }
@@ -54,8 +78,8 @@ func TestDiskDeletesCorruptEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	const key = "deadbeef"
-	path := filepath.Join(dir, key+".json")
-	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+	path := filepath.Join(dir, key+".rec")
+	if err := os.WriteFile(path, []byte("GDPMgarbage-that-is-not-a-record"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -68,35 +92,60 @@ func TestDiskDeletesCorruptEntry(t *testing.T) {
 
 	// The slot heals: a Put stores a decodable entry that hits from a
 	// fresh cache over the same directory.
-	if err := c.Put(key, &soc.Result{EnergyJ: 42}); err != nil {
+	if err := c.Put(key, mustRecord(t, key, &soc.Result{EnergyJ: 42})); err != nil {
 		t.Fatal(err)
 	}
 	c2, err := engine.NewDisk(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, ok := c2.Get(key)
-	if !ok || r.EnergyJ != 42 {
-		t.Fatalf("healed entry not served: ok=%v r=%+v", ok, r)
+	rec, ok := c2.Get(key)
+	if !ok || energyHit(t, rec) != 42 {
+		t.Fatalf("healed entry not served: ok=%v rec=%v", ok, rec)
+	}
+}
+
+// TestDiskKeyMismatchIsMiss pins the container/key cross-check: a record
+// renamed onto another key's slot (or a hash collision in the filename)
+// must not serve the wrong payload.
+func TestDiskKeyMismatchIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := engine.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("aaaa", mustRecord(t, "aaaa", &soc.Result{EnergyJ: 7})); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, "aaaa.rec"), filepath.Join(dir, "bbbb.rec")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("bbbb"); ok {
+		t.Fatal("record stored under key aaaa served for key bbbb")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bbbb.rec")); !os.IsNotExist(err) {
+		t.Fatal("mismatched entry not deleted")
 	}
 }
 
 // TestDiskSizeCapGC pins the size-capped disk cache: overflow deletes the
 // least-recently-modified entries first, both at open and after Put.
+// Codec "none" keeps every entry byte-for-byte the same size so the GC
+// arithmetic is exact.
 func TestDiskSizeCapGC(t *testing.T) {
 	dir := t.TempDir()
-	unbounded, err := engine.NewDisk(dir)
+	unbounded, err := engine.NewDiskWith(dir, engine.DiskOptions{Codec: "none"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var entrySize int64
 	base := time.Now().Add(-time.Hour)
 	for i := 0; i < 8; i++ {
-		key := fakeKey(i)
-		if err := unbounded.Put(key, &soc.Result{EnergyJ: float64(i)}); err != nil {
+		key := fakeDiskKey(i)
+		if err := unbounded.Put(key, mustRecord(t, key, &soc.Result{EnergyJ: float64(i)})); err != nil {
 			t.Fatal(err)
 		}
-		path := filepath.Join(dir, key+".json")
+		path := filepath.Join(dir, key+".rec")
 		fi, err := os.Stat(path)
 		if err != nil {
 			t.Fatal(err)
@@ -113,20 +162,20 @@ func TestDiskSizeCapGC(t *testing.T) {
 	// hysteresis — evicts oldest-first down to ≤ 0.9×cap, keeping the 3
 	// newest (3 entries fit under 3.6 entries' worth of budget).
 	maxBytes := 4 * entrySize
-	capped, err := engine.NewDiskWith(dir, engine.DiskOptions{MaxBytes: maxBytes})
+	capped, err := engine.NewDiskWith(dir, engine.DiskOptions{MaxBytes: maxBytes, Codec: "none"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := len(listFiles(t, dir, "*.json")); n != 3 {
+	if n := len(listFiles(t, dir, "*.rec")); n != 3 {
 		t.Fatalf("%d entries after open-time GC, want 3", n)
 	}
 	for i := 0; i < 5; i++ {
-		if _, ok := capped.Get(fakeKey(i)); ok {
+		if _, ok := capped.Get(fakeDiskKey(i)); ok {
 			t.Fatalf("old entry %d survived GC", i)
 		}
 	}
 	for i := 5; i < 8; i++ {
-		if r, ok := capped.Get(fakeKey(i)); !ok || r.EnergyJ != float64(i) {
+		if rec, ok := capped.Get(fakeDiskKey(i)); !ok || energyHit(t, rec) != float64(i) {
 			t.Fatalf("recent entry %d lost by GC", i)
 		}
 	}
@@ -134,7 +183,7 @@ func TestDiskSizeCapGC(t *testing.T) {
 	// The freed headroom absorbs the next Put without re-scanning, and
 	// the cap holds. The payload matches the others byte-for-byte so the
 	// arithmetic stays exact.
-	if err := capped.Put(fakeKey(100), &soc.Result{EnergyJ: 9}); err != nil {
+	if err := capped.Put(fakeDiskKey(100), mustRecord(t, fakeDiskKey(100), &soc.Result{EnergyJ: 9})); err != nil {
 		t.Fatal(err)
 	}
 	st := capped.CacheStats()
@@ -147,12 +196,104 @@ func TestDiskSizeCapGC(t *testing.T) {
 	if st.Evictions != 5 {
 		t.Fatalf("evictions %d, want 5 (the oldest five, at open)", st.Evictions)
 	}
-	if _, err := os.Stat(filepath.Join(dir, fakeKey(100)+".json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, fakeDiskKey(100)+".rec")); err != nil {
 		t.Fatal("newest entry GCed instead of the oldest")
 	}
 }
 
-// fakeKey builds a distinct hex cache key per index.
-func fakeKey(i int) string {
+// TestDiskLegacyJSONMigration pins the format migration: a directory
+// seeded with old-format JSON entries opens cleanly, the legacy files are
+// removed (keys heal by re-simulation), old keys are misses — never
+// poison — and fresh Puts land in the new record format only.
+func TestDiskLegacyJSONMigration(t *testing.T) {
+	dir := t.TempDir()
+	legacy := map[string]string{
+		"0a0a": `{"EnergyJ":12.5,"TasksDone":3}`,
+		"0b0b": `{"EnergyJ":99,"Completed":true}`,
+		"0c0c": `{truncated garbage`,
+	}
+	for key, body := range legacy {
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := engine.NewDisk(dir)
+	if err != nil {
+		t.Fatalf("open over legacy dir: %v", err)
+	}
+	if left := listFiles(t, dir, "*.json"); len(left) != 0 {
+		t.Fatalf("legacy entries survived migration sweep: %v", left)
+	}
+	for key := range legacy {
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("legacy key %s served as a hit after migration", key)
+		}
+	}
+	if st := c.CacheStats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("migrated cache not empty: %+v", st)
+	}
+
+	// The keys heal: re-simulated results Put in the new format and
+	// round-trip across a reopen.
+	for key := range legacy {
+		if err := c.Put(key, mustRecord(t, key, &soc.Result{EnergyJ: 1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(listFiles(t, dir, "*.rec")); n != len(legacy) {
+		t.Fatalf("%d .rec entries after heal, want %d", n, len(legacy))
+	}
+	if n := len(listFiles(t, dir, "*.json")); n != 0 {
+		t.Fatal("a Put wrote a legacy-format entry")
+	}
+	c2, err := engine.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := range legacy {
+		if rec, ok := c2.Get(key); !ok || energyHit(t, rec) != 1 {
+			t.Fatalf("healed key %s not served after reopen", key)
+		}
+	}
+}
+
+// TestDiskCodecRoundTrip pins both supported codecs end to end through
+// the disk store, and the zstd gate.
+func TestDiskCodecRoundTrip(t *testing.T) {
+	for _, codec := range []string{"", "flate", "none", "raw"} {
+		dir := t.TempDir()
+		c, err := engine.NewDiskWith(dir, engine.DiskOptions{Codec: codec})
+		if err != nil {
+			t.Fatalf("codec %q: %v", codec, err)
+		}
+		r := &soc.Result{EnergyJ: 3.25, TasksDone: 9, Completed: true,
+			EnergyByIP: map[string]float64{"cpu": 2, "dsp": 1.25}}
+		if err := c.Put("k1", mustRecord(t, "k1", r)); err != nil {
+			t.Fatalf("codec %q: %v", codec, err)
+		}
+		c2, err := engine.NewDiskWith(dir, engine.DiskOptions{}) // default decodes any codec
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, ok := c2.Get("k1")
+		if !ok {
+			t.Fatalf("codec %q: stored entry missed", codec)
+		}
+		got, err := rec.Result()
+		if err != nil {
+			t.Fatalf("codec %q: %v", codec, err)
+		}
+		if got.EnergyJ != r.EnergyJ || got.TasksDone != r.TasksDone || got.EnergyByIP["dsp"] != 1.25 {
+			t.Fatalf("codec %q: round-trip mangled result: %+v", codec, got)
+		}
+	}
+	if _, err := engine.NewDiskWith(t.TempDir(), engine.DiskOptions{Codec: "zstd"}); err == nil {
+		t.Fatal("zstd codec accepted despite not being built in")
+	}
+}
+
+// fakeDiskKey builds a distinct hex cache key per index.
+func fakeDiskKey(i int) string {
 	return fmt.Sprintf("%032x", i)
 }

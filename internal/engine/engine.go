@@ -7,8 +7,8 @@
 //
 // Every job is content-addressed: Fingerprint hashes the normalized
 // soc.Config, and a Cache (a sharded bounded LRU in memory, or layered
-// over a directory of JSON files) short-circuits jobs whose fingerprint
-// has already been computed. Concurrent jobs with the same fingerprint
+// over a directory of binary record containers) short-circuits jobs
+// whose fingerprint has already been computed. Concurrent jobs with the same fingerprint
 // additionally collapse to one simulation (singleflight): the waiters are
 // served the winner's result as cache hits. Repeated invocations of the
 // same experiment grid — the paper's Table 2 scenarios, ablation sweeps,
@@ -56,6 +56,12 @@ type JobResult struct {
 	// Result is nil iff Err is non-nil. Cached results are shared across
 	// jobs and invocations — treat them as immutable.
 	Result *soc.Result
+	// Record carries Result's cache record — the pre-encoded canonical
+	// bytes plus cached content digest — when the job went through the
+	// cache (hit or stored miss). Serving layers write Record bytes
+	// instead of re-marshalling Result. Nil for uncached (volatile or
+	// NoCache) jobs and failures; shared and immutable like Result.
+	Record *Record
 	Err    error
 	// CacheHit reports that Result came from the cache.
 	CacheHit bool
@@ -309,11 +315,15 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 		// The pre-flight probe skips expensive remote tiers when the cache
 		// distinguishes them: a stampede of identical jobs then costs one
 		// network round-trip (the flight leader's full probe below), not
-		// one per job.
-		if r, ok := e.probe(jr.Key, true); ok {
-			e.hits.Add(1)
-			jr.Result, jr.CacheHit = r, true
-			return jr
+		// one per job. A record that fails to decode — corrupt bytes that
+		// survived the container checksum — is NOT a hit: fall through to
+		// the flight, whose leader re-simulates and overwrites the entry.
+		if rec, ok := e.probe(jr.Key, true); ok {
+			if r, derr := rec.Result(); derr == nil {
+				e.hits.Add(1)
+				jr.Result, jr.Record, jr.CacheHit = r, rec, true
+				return jr
+			}
 		}
 		f, leader := e.flights.join(jr.Key)
 		if !leader {
@@ -331,7 +341,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 				}
 				e.hits.Add(1)
 				e.deduped.Add(1)
-				jr.Result, jr.CacheHit = f.r, true
+				jr.Result, jr.Record, jr.CacheHit = f.r, f.rec, true
 				return jr
 			case <-ctx.Done():
 				e.canceled.Add(1)
@@ -341,33 +351,40 @@ func (e *Engine) runJob(ctx context.Context, job Job) JobResult {
 		}
 		// Leader. A sibling may have populated the cache between our miss
 		// and the join; re-probe — this time through every tier, remote
-		// included — before paying for a simulation.
-		if r, ok := e.probe(jr.Key, false); ok {
-			e.flights.finish(jr.Key, f, r, nil)
-			e.hits.Add(1)
-			jr.Result, jr.CacheHit = r, true
-			return jr
+		// included — before paying for a simulation. An undecodable record
+		// is treated as a miss, so the simulation below heals the slot.
+		if rec, ok := e.probe(jr.Key, false); ok {
+			if r, derr := rec.Result(); derr == nil {
+				e.flights.finish(jr.Key, f, r, rec, nil)
+				e.hits.Add(1)
+				jr.Result, jr.Record, jr.CacheHit = r, rec, true
+				return jr
+			}
 		}
 		e.misses.Add(1)
 		e.runs.Add(1)
 		r, runErr := e.simulate(ctx, job)
+		var rec *Record
 		if runErr == nil {
-			// Put before finish: retired flights send latecomers to the
+			// Build the record (the one marshal this result will ever pay)
+			// and Put before finish: retired flights send latecomers to the
 			// cache, so it must already hold the result. A cache-write
 			// failure degrades caching, not correctness.
-			_ = e.cache.Put(jr.Key, r)
+			if rec, _ = NewRecord(jr.Key, r); rec != nil {
+				_ = e.cache.Put(jr.Key, rec)
+			}
 		} else {
 			e.countFailure(runErr)
 		}
-		e.flights.finish(jr.Key, f, r, runErr)
-		jr.Result, jr.Err = r, runErr
+		e.flights.finish(jr.Key, f, r, rec, runErr)
+		jr.Result, jr.Record, jr.Err = r, rec, runErr
 		return jr
 	}
 }
 
 // probe looks the key up in the cache; localOnly restricts the lookup
 // to the cheap local tiers when the cache can tell them apart.
-func (e *Engine) probe(key string, localOnly bool) (*soc.Result, bool) {
+func (e *Engine) probe(key string, localOnly bool) (*Record, bool) {
 	if localOnly {
 		if lp, ok := e.cache.(localProber); ok {
 			return lp.GetLocal(key)

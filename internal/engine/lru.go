@@ -3,8 +3,6 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
-
-	"godpm/internal/soc"
 )
 
 // LRUOptions bounds an LRU cache. The zero value selects the defaults,
@@ -15,8 +13,10 @@ type LRUOptions struct {
 	// MaxEntries is not divisible by the shard count the effective
 	// capacity is the floor per shard × shards, slightly below the cap.
 	MaxEntries int
-	// MaxBytes approximately caps the cache's retained result memory
-	// (estimated per entry — maps, ledgers; see CacheStats.Bytes);
+	// MaxBytes caps the cache's retained record memory. Accounting is
+	// exact in record terms: each entry is charged Record.MemSize (a
+	// deterministic function of the encoded size), and the cache's
+	// accounted bytes always equal the sum of live entries' sizes.
 	// 0 means unbounded by size.
 	MaxBytes int64
 	// Shards is the lock-striping factor; 0 means defaultLRUShards.
@@ -38,15 +38,15 @@ const (
 	minShardEntries = 8
 )
 
-// LRU is a sharded, bounded, least-recently-used result cache: the
+// LRU is a sharded, bounded, least-recently-used record cache: the
 // replacement for the unbounded Memory map. Each shard owns an
 // independent mutex, hash map and intrusive recency list, so concurrent
 // workers rarely contend on the same lock. When an insert overflows a
 // shard's entry or byte budget, the least-recently-used entries of that
 // shard are evicted (counted in CacheStats.Evictions).
 //
-// Results handed out by Get are shared with every other caller of the
-// same key — treat them as immutable.
+// Records handed out by Get are shared with every other caller of the
+// same key — treat them (and their decoded Results) as immutable.
 type LRU struct {
 	shards       []lruShard
 	evictions    atomic.Int64
@@ -64,7 +64,7 @@ type lruShard struct {
 
 type lruEntry struct {
 	key        string
-	r          *soc.Result
+	rec        *Record
 	size       int64
 	prev, next *lruEntry
 }
@@ -155,9 +155,9 @@ func hexVal(b byte) (uint32, bool) {
 	return 0, false
 }
 
-// Get returns the cached result for key, if any, marking it most
+// Get returns the cached record for key, if any, marking it most
 // recently used.
-func (c *LRU) Get(key string) (*soc.Result, bool) {
+func (c *LRU) Get(key string) (*Record, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -168,7 +168,7 @@ func (c *LRU) Get(key string) (*soc.Result, bool) {
 	}
 	c.hits.Add(1)
 	s.moveToFront(e)
-	return e.r, true
+	return e.rec, true
 }
 
 // Has probes for key without promoting it or touching the hit/miss
@@ -181,19 +181,23 @@ func (c *LRU) Has(key string) bool {
 	return ok
 }
 
-// Put stores a result, evicting least-recently-used entries if the
-// shard's entry or byte budget overflows.
-func (c *LRU) Put(key string, r *soc.Result) error {
-	size := approxResultSize(r)
+// Put stores a record, evicting least-recently-used entries if the
+// shard's entry or byte budget overflows. Updating an existing key
+// adjusts the shard's accounted bytes by the signed size delta — an
+// entry that shrinks credits bytes back, and because every entry's
+// charge is its own MemSize the running sum can never underflow: it
+// always equals the (non-negative) sum over live entries.
+func (c *LRU) Put(key string, rec *Record) error {
+	size := rec.MemSize()
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.m[key]; ok {
 		s.bytes += size - e.size
-		e.r, e.size = r, size
+		e.rec, e.size = rec, size
 		s.moveToFront(e)
 	} else {
-		e := &lruEntry{key: key, r: r, size: size}
+		e := &lruEntry{key: key, rec: rec, size: size}
 		s.m[key] = e
 		s.pushFront(e)
 		s.bytes += size
@@ -285,31 +289,5 @@ func (s *lruShard) evictTail() {
 	s.unlink(e)
 	delete(s.m, e.key)
 	s.bytes -= e.size
-	e.r = nil
-}
-
-// approxResultSize estimates the retained heap size of a cached result:
-// the struct itself plus its maps and ledger records. It is deliberately
-// rough — the byte cap is approximate — but monotone in the things that
-// actually dominate (ledger length, per-IP maps), which is what a bound
-// needs.
-func approxResultSize(r *soc.Result) int64 {
-	// Entry bookkeeping (map bucket, list node, key string) plus the
-	// Result struct's scalar fields.
-	const (
-		entryOverhead = 256
-		mapEntryCost  = 64
-		recordCost    = 64
-		lemStatsCost  = 256
-	)
-	n := int64(entryOverhead)
-	if r == nil {
-		return n
-	}
-	n += int64(len(r.EnergyByIP)) * mapEntryCost
-	n += int64(len(r.LEMStats)) * lemStatsCost
-	if r.Ledger != nil {
-		n += int64(r.Ledger.Len()) * recordCost
-	}
-	return n
+	e.rec = nil
 }

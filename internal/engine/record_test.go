@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"godpm/internal/sim"
+	"godpm/internal/soc"
+	"godpm/internal/workload"
+)
+
+// richResult builds a result with every size-relevant field populated so
+// the compressed/uncompressed paths both carry real payload.
+func richResult() *soc.Result {
+	return &soc.Result{
+		EnergyJ:    12.345,
+		BusEnergyJ: 0.5,
+		Duration:   3 * sim.Sec,
+		AvgTempC:   55.5,
+		PeakTempC:  71.25,
+		TasksDone:  42,
+		Completed:  true,
+		FinalSoC:   0.875,
+		EnergyByIP: map[string]float64{
+			"cpu": 8.0, "dsp": 2.345, "wlan": 2.0,
+		},
+		WallSeconds: 1.5, // volatile: must NOT reach the canonical body
+	}
+}
+
+func testRecord(t *testing.T) *Record {
+	t.Helper()
+	rec, err := NewRecord(fakeKey(1), richResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestRecordRoundTrip encodes with each supported codec and decodes the
+// container back: key, digest, canonical bytes and decoded value must all
+// survive, and repeated Encode calls on one record return the identical
+// cached container.
+func TestRecordRoundTrip(t *testing.T) {
+	for _, codec := range []Codec{CodecRaw, CodecFlate} {
+		rec := testRecord(t)
+		enc, err := rec.Encode(codec)
+		if err != nil {
+			t.Fatalf("%v: Encode: %v", codec, err)
+		}
+		again, err := rec.Encode(codec)
+		if err != nil || !bytes.Equal(enc, again) {
+			t.Fatalf("%v: second Encode not the cached container", codec)
+		}
+
+		got, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("%v: DecodeRecord: %v", codec, err)
+		}
+		if got.Key() != rec.Key() || got.Digest() != rec.Digest() {
+			t.Fatalf("%v: identity mangled: key %q digest %q", codec, got.Key(), got.Digest())
+		}
+		wantJSON, _ := rec.JSON()
+		gotJSON, err := got.JSON()
+		if err != nil || !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("%v: canonical bytes differ after round trip (err %v)", codec, err)
+		}
+		r, err := got.Result()
+		if err != nil {
+			t.Fatalf("%v: Result: %v", codec, err)
+		}
+		if r.EnergyJ != 12.345 || r.EnergyByIP["dsp"] != 2.345 || !r.Completed {
+			t.Fatalf("%v: decoded result mangled: %+v", codec, r)
+		}
+		if r.WallSeconds != 0 {
+			t.Fatalf("%v: volatile WallSeconds leaked into the canonical body", codec)
+		}
+		if ResultDigest(r) != rec.Digest() {
+			t.Fatalf("%v: decoded result does not reproduce the stored digest", codec)
+		}
+	}
+}
+
+// TestRecordDeterministicBytes: two simulations of the same config differ
+// only in host timing, and the record hides that — byte-identical
+// containers, identical MemSize. Exact cache accounting rests on this.
+func TestRecordDeterministicBytes(t *testing.T) {
+	a, b := richResult(), richResult()
+	b.WallSeconds = 99.75 // a slower host, same simulation
+	ra, err := NewRecord(fakeKey(2), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRecord(fakeKey(2), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := ra.Encode(CodecFlate)
+	eb, _ := rb.Encode(CodecFlate)
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("containers differ across hosts with different wall times")
+	}
+	if ra.MemSize() != rb.MemSize() {
+		t.Fatalf("MemSize differs: %d vs %d", ra.MemSize(), rb.MemSize())
+	}
+}
+
+// TestRecordMemSize: the accounted size is derived from header fields
+// only — the same before and after the lazy fields materialise.
+func TestRecordMemSize(t *testing.T) {
+	rec := testRecord(t)
+	enc, err := rec.Encode(CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dec.MemSize()
+	if _, err := dec.JSON(); err != nil { // inflate
+		t.Fatal(err)
+	}
+	if _, err := dec.Result(); err != nil { // unmarshal
+		t.Fatal(err)
+	}
+	if after := dec.MemSize(); after != before {
+		t.Fatalf("MemSize moved %d → %d when lazy fields materialised", before, after)
+	}
+	raw, _ := rec.JSON()
+	want := int64(recordOverhead + len(rec.Key()) + len(rec.Digest()) + len(raw))
+	if got := rec.MemSize(); got != want {
+		t.Fatalf("MemSize = %d, want overhead+key+digest+rawLen = %d", got, want)
+	}
+}
+
+// TestRecordLazyDecode: decoding a container does NOT unmarshal the body;
+// the Result materialises on first use and is then shared.
+func TestRecordLazyDecode(t *testing.T) {
+	enc, err := testRecord(t).Encode(CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.res.Load() != nil {
+		t.Fatal("DecodeRecord eagerly unmarshalled the body")
+	}
+	r1, err := dec.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := dec.Result()
+	if r1 != r2 {
+		t.Fatal("Result() rebuilt the value instead of sharing it")
+	}
+}
+
+// TestRecordCorruptionRejected flips, truncates and forges containers:
+// every mutation must fail DecodeRecord — or, for body tampering caught
+// by the checksum, fail before any JSON reaches a consumer.
+func TestRecordCorruptionRejected(t *testing.T) {
+	enc, err := testRecord(t).Encode(CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(append([]byte(nil), enc...))
+		if _, err := DecodeRecord(b); err == nil {
+			t.Errorf("%s: corrupt container decoded cleanly", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("future version", func(b []byte) []byte { b[4] = recordVersion + 1; return b })
+	mutate("unknown codec", func(b []byte) []byte { b[5] = 7; return b })
+	mutate("flipped body byte", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	mutate("flipped checksum byte", func(b []byte) []byte { b[20] ^= 0x01; return b })
+	mutate("truncated body", func(b []byte) []byte { return b[:len(b)-3] })
+	mutate("truncated header", func(b []byte) []byte { return b[:recordHdrLen-1] })
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("oversized key length", func(b []byte) []byte {
+		binary.LittleEndian.PutUint16(b[8:], maxRecordField+1)
+		return b
+	})
+	mutate("body length past buffer", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[16:], uint32(len(b))) // > actual remainder
+		return b
+	})
+
+	// A zstd container: identifiable, refused with the gate error.
+	z := append([]byte(nil), enc...)
+	z[5] = byte(CodecZstd)
+	if _, err := DecodeRecord(z); !errors.Is(err, ErrCodecUnavailable) {
+		t.Fatalf("zstd container error = %v, want ErrCodecUnavailable", err)
+	}
+
+	// Inflated-body mismatch: a body that checksums fine but inflates to
+	// the wrong length (rawLen forged) must be rejected at JSON() time.
+	forged := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(forged[12:], binary.LittleEndian.Uint32(forged[12:])+1)
+	rec, err := DecodeRecord(forged)
+	if err != nil {
+		t.Fatalf("header-only forge rejected too early: %v", err)
+	}
+	if _, err := rec.JSON(); err == nil {
+		t.Fatal("forged rawLen not caught at inflate time")
+	}
+}
+
+// TestRecordEncodeZstdGated: encoding with the reserved codec is refused
+// by Encode and by the configuration-time knob parser.
+func TestRecordEncodeZstdGated(t *testing.T) {
+	if _, err := testRecord(t).Encode(CodecZstd); !errors.Is(err, ErrCodecUnavailable) {
+		t.Fatalf("Encode(CodecZstd) error = %v, want ErrCodecUnavailable", err)
+	}
+	if _, err := ParseCodec("zstd"); !errors.Is(err, ErrCodecUnavailable) {
+		t.Fatalf("ParseCodec(zstd) error = %v, want ErrCodecUnavailable", err)
+	}
+	if _, err := ParseCodec("lzma"); err == nil {
+		t.Fatal("unknown codec name accepted")
+	}
+	for name, want := range map[string]Codec{"": CodecFlate, "flate": CodecFlate, "none": CodecRaw, "raw": CodecRaw} {
+		got, err := ParseCodec(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseCodec(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+}
+
+// TestRecordFlateShrinksLedgerHeavyResults pins the headline compression
+// claim on a realistic payload: a simulated result with its ledger and
+// per-IP maps compresses well past 2x (observed ~5-10x on Table 1 runs).
+func TestRecordFlateShrinksLedgerHeavyResults(t *testing.T) {
+	cfg := soc.Config{
+		IPs: []soc.IPSpec{{
+			Name:     "ip0",
+			Sequence: workload.HighActivity(7, 64).MustGenerate(),
+		}},
+		Policy:   soc.PolicyDPM,
+		Battery:  soc.DefaultBattery(0.95),
+		BusWords: 16,
+		Horizon:  60 * sim.Sec,
+	}
+	r, err := soc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := Fingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecord(key, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flated, err := rec.Encode(CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RawLen() < 1024 {
+		t.Fatalf("payload too small to exercise compression: %d bytes", rec.RawLen())
+	}
+	if ratio := float64(rec.RawLen()) / float64(len(flated)); ratio < 2 {
+		t.Fatalf("flate ratio %.2fx on a ledger-heavy result, want ≥ 2x", ratio)
+	}
+}
+
+// TestRecordFromJSONRejectsGarbage: the trust-boundary constructor
+// decodes eagerly and refuses non-result bodies.
+func TestRecordFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := RecordFromJSON("k", []byte("}{ nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := RecordFromJSON("k", []byte(strings.Repeat("[", 4))); err == nil {
+		t.Fatal("non-object accepted")
+	}
+	rec, err := RecordFromJSON("k", []byte(`{"EnergyJ":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rec.Result()
+	if err != nil || r.EnergyJ != 3 {
+		t.Fatalf("legacy JSON round trip: %+v, %v", r, err)
+	}
+}

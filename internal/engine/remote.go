@@ -13,16 +13,23 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"godpm/internal/soc"
 )
 
 // The dpmremote wire protocol, shared by this client and BlobServer:
 //
 //	HEAD /v1/blob/{fingerprint}   →  200 | 404
-//	GET  /v1/blob/{fingerprint}   →  200 (JSON soc.Result) | 404
+//	GET  /v1/blob/{fingerprint}   →  200 (record container or JSON) | 404
 //	PUT  /v1/blob/{fingerprint}   →  204 | 400/413/422
 //	POST /v1/stat {"keys":[...]}  →  200 {"present":[...]}
+//
+// Blob bodies are content-negotiated: a client that sends
+// `Accept: application/x-gdpm-record` receives the stored binary record
+// container verbatim — an io.Copy of pre-encoded compressed bytes, no
+// per-GET marshal — while a legacy client gets the canonical JSON it
+// always got. PUT likewise accepts either a record container
+// (Content-Type: application/x-gdpm-record) or legacy JSON, so mixed
+// fleet versions interoperate: each side speaks the best format both
+// understand.
 //
 // Fingerprints are the engine's cache keys (lowercase SHA-256 hex), so
 // the protocol is content-addressed: a PUT can never overwrite an entry
@@ -305,9 +312,13 @@ func (c *Remote) backoffWait(d time.Duration) bool {
 	}
 }
 
-// Get fetches the result for key from the remote store. Any failure —
+// Get fetches the record for key from the remote store. Any failure —
 // network, server error, oversized or undecodable body — is a miss.
-func (c *Remote) Get(key string) (*soc.Result, bool) {
+// The fetched bytes are fully verified here (container checksum, body
+// decode, content digest) before the record is returned, so a caller
+// promoting remote hits into local tiers can never be poisoned by a bad
+// server entry or an in-flight byte flip.
+func (c *Remote) Get(key string) (*Record, bool) {
 	if !validKey(key) {
 		c.misses.Add(1)
 		return nil, false
@@ -320,6 +331,7 @@ func (c *Remote) Get(key string) (*soc.Result, bool) {
 	var (
 		data     []byte
 		digest   string
+		ctype    string
 		notFound bool
 	)
 	err := c.retry(func(ctx context.Context) (bool, error) {
@@ -327,6 +339,7 @@ func (c *Remote) Get(key string) (*soc.Result, bool) {
 		if err != nil {
 			return true, err
 		}
+		req.Header.Set("Accept", RecordContentType+", application/json")
 		resp, err := c.client.Do(req)
 		if err != nil {
 			return false, err
@@ -335,6 +348,7 @@ func (c *Remote) Get(key string) (*soc.Result, bool) {
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			digest = resp.Header.Get(digestHeader)
+			ctype = resp.Header.Get("Content-Type")
 			data, err = io.ReadAll(io.LimitReader(resp.Body, c.maxBlob+1))
 			if err != nil {
 				return false, err
@@ -364,8 +378,24 @@ func (c *Remote) Get(key string) (*soc.Result, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	var r soc.Result
-	if err := json.Unmarshal(data, &r); err != nil {
+	var (
+		rec    *Record
+		decErr error
+	)
+	if strings.HasPrefix(ctype, RecordContentType) {
+		rec, decErr = DecodeRecord(data)
+		if decErr == nil && rec.Key() != key {
+			decErr = fmt.Errorf("record keyed %q, want %q", rec.Key(), key)
+		}
+	} else {
+		rec, decErr = RecordFromJSON(key, data)
+	}
+	if decErr == nil {
+		// Decode eagerly: a record must prove its body inflates and
+		// unmarshals before it may cross into the local tiers.
+		_, decErr = rec.Result()
+	}
+	if decErr != nil {
 		// Corrupt remote bytes: counted, dropped, never returned — so a
 		// caller promoting remote hits into local tiers cannot be
 		// poisoned by a bad server entry.
@@ -373,26 +403,29 @@ func (c *Remote) Get(key string) (*soc.Result, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	if digest != "" && ResultDigest(&r) != digest {
-		// The body decoded but does not match the digest the server
-		// vouched for: bytes were flipped in flight in a way that kept
-		// the JSON valid. Decode-level checks cannot catch this — the
-		// end-to-end digest is what makes "no poisoned result is ever
-		// served" a mechanical guarantee rather than a parsing accident.
+	r, _ := rec.Result()
+	if want := ResultDigest(r); (digest != "" && want != digest) || want != rec.Digest() {
+		// The body decoded but does not match the digest the peer vouched
+		// for (the header on the wire, or the container's own digest
+		// field): bytes were flipped in a way that kept the encoding
+		// valid. Decode-level checks cannot catch this — the end-to-end
+		// digest is what makes "no poisoned result is ever served" a
+		// mechanical guarantee rather than a parsing accident.
 		c.rejected.Add(1)
 		c.errors.Add(1)
 		c.misses.Add(1)
 		return nil, false
 	}
 	c.hits.Add(1)
-	return &r, true
+	return rec, true
 }
 
-// Put stores a result in the remote store. Failures are counted and
-// swallowed into the returned error; callers (Tiered write-behind, the
-// engine) treat a failed Put as a lost replication opportunity, not a
-// job failure.
-func (c *Remote) Put(key string, r *soc.Result) error {
+// Put stores a record in the remote store, uploading its compressed
+// binary container (encoded once per record, shared with the disk
+// tier's copy). Failures are counted and swallowed into the returned
+// error; callers (Tiered write-behind, the engine) treat a failed Put
+// as a lost replication opportunity, not a job failure.
+func (c *Remote) Put(key string, rec *Record) error {
 	if !validKey(key) {
 		return fmt.Errorf("engine: remote cache: invalid key %q", key)
 	}
@@ -400,9 +433,9 @@ func (c *Remote) Put(key string, r *soc.Result) error {
 		c.skipped.Add(1)
 		return nil
 	}
-	data, err := json.Marshal(r)
+	data, err := rec.Encode(CodecFlate)
 	if err != nil {
-		return fmt.Errorf("engine: remote cache: encode result: %w", err)
+		return fmt.Errorf("engine: remote cache: encode record: %w", err)
 	}
 	c.puts.Add(1)
 	err = c.retry(func(ctx context.Context) (bool, error) {
@@ -410,10 +443,10 @@ func (c *Remote) Put(key string, r *soc.Result) error {
 		if err != nil {
 			return true, err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", RecordContentType)
 		// The claimed digest lets the server refuse an upload whose bytes
 		// were corrupted in flight instead of storing it for the fleet.
-		req.Header.Set(digestHeader, ResultDigest(r))
+		req.Header.Set(digestHeader, rec.Digest())
 		resp, err := c.client.Do(req)
 		if err != nil {
 			return false, err

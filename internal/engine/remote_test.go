@@ -1,9 +1,11 @@
 package engine_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -59,7 +61,7 @@ func TestRemoteBlobServerRoundtrip(t *testing.T) {
 	if remote.Has(key) {
 		t.Fatalf("Has(%s) = true before Put", key)
 	}
-	if err := remote.Put(key, want); err != nil {
+	if err := remote.Put(key, mustRecord(t, key, want)); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
 	if !remote.Has(key) {
@@ -69,9 +71,9 @@ func TestRemoteBlobServerRoundtrip(t *testing.T) {
 	if !ok {
 		t.Fatalf("Get(%s) missed after Put", key)
 	}
-	if engine.ResultDigest(got) != engine.ResultDigest(want) {
+	if got.Digest() != engine.ResultDigest(want) {
 		t.Fatalf("roundtripped result differs: %s != %s",
-			engine.ResultDigest(got), engine.ResultDigest(want))
+			got.Digest(), engine.ResultDigest(want))
 	}
 
 	absent := strings.Repeat("0f", 32)
@@ -106,7 +108,7 @@ func TestRemoteRejectsInvalidKeys(t *testing.T) {
 		if _, ok := remote.Get(key); ok {
 			t.Fatalf("Get(%q) hit for an invalid key", key)
 		}
-		if err := remote.Put(key, &soc.Result{}); err == nil {
+		if err := remote.Put(key, mustRecord(t, key, &soc.Result{})); err == nil {
 			t.Fatalf("Put(%q) accepted an invalid key", key)
 		}
 	}
@@ -297,7 +299,7 @@ func TestCorruptRemoteDoesNotPoison(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if engine.ResultDigest(got) != engine.ResultDigest(want) {
+		if got.Digest() != engine.ResultDigest(want) {
 			t.Fatalf("local cache poisoned for %s", job.ID)
 		}
 	}
@@ -361,7 +363,7 @@ func TestRemoteRetriesTransientFailures(t *testing.T) {
 	if !ok {
 		t.Fatalf("Get missed; two 503s should have been retried away")
 	}
-	if engine.ResultDigest(got) != engine.ResultDigest(want) {
+	if got.Digest() != engine.ResultDigest(want) {
 		t.Fatalf("retried Get returned a different result")
 	}
 	if requests.Load() != 3 {
@@ -481,4 +483,86 @@ func TestSingleflightCollapsesRemoteProbe(t *testing.T) {
 	if got := gets.Load(); got > 2 {
 		t.Fatalf("remote saw %d GETs for one distinct fingerprint, want ≤ 2", got)
 	}
+}
+
+// TestRemoteWireFormatNegotiation pins the mixed-version interop matrix:
+// a current client and server speak the binary record container; a legacy
+// JSON body (old server) and a JSON GET/PUT (old client) both still work.
+func TestRemoteWireFormatNegotiation(t *testing.T) {
+	ts, _, store := blobServerForTest(t)
+	key, want := computeResult(t, 8)
+
+	// New client → new server: PUT ships a record container, GET asks for
+	// one back and the server honours the Accept header.
+	remote := newRemote(t, engine.RemoteOptions{BaseURL: ts.URL})
+	if err := remote.Put(key, mustRecord(t, key, want)); err != nil {
+		t.Fatalf("record Put: %v", err)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/blob/"+key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", engine.RecordContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, engine.RecordContentType) {
+		t.Fatalf("record-accepting GET got Content-Type %q", ct)
+	}
+	rec, err := engine.DecodeRecord(body)
+	if err != nil {
+		t.Fatalf("served container does not decode: %v", err)
+	}
+	if rec.Key() != key || rec.Digest() != engine.ResultDigest(want) {
+		t.Fatal("served container carries the wrong identity")
+	}
+
+	// Old client → new server: a bare JSON GET still returns JSON.
+	resp, err = http.Get(ts.URL + "/v1/blob/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaJSON soc.Result
+	err = json.NewDecoder(resp.Body).Decode(&viaJSON)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("JSON GET fallback: %v", err)
+	}
+	if engine.ResultDigest(&viaJSON) != engine.ResultDigest(want) {
+		t.Fatal("JSON fallback served a different result")
+	}
+
+	// Old client → new server: a bare JSON PUT (no record container, no
+	// record content type) is accepted and digest-verified.
+	otherKey, otherRes := computeResult(t, 9)
+	legacyBody, err := json.Marshal(otherRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putReq, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/blob/"+otherKey, bytes.NewReader(legacyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putReq.Header.Set("Content-Type", "application/json")
+	resp, err = http.DefaultClient.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		t.Fatalf("legacy JSON PUT refused: status %d", resp.StatusCode)
+	}
+	if got, ok := store.Get(otherKey); !ok || got.Digest() != engine.ResultDigest(otherRes) {
+		t.Fatal("legacy JSON PUT did not land in the store intact")
+	}
+
+	// New client → old server is covered by TestRemoteRetriesTransientFailures
+	// (raw JSON body, no record content type) — both halves of the matrix hold.
 }

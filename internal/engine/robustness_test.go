@@ -23,7 +23,7 @@ import (
 func TestDiskConcurrentCorruptHealing(t *testing.T) {
 	dir := t.TempDir()
 	key := strings.Repeat("ab", 16)
-	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("}{ not a result"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, key+".rec"), []byte("}{ not a record"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	d, err := engine.NewDiskWith(dir, engine.DiskOptions{})
@@ -54,16 +54,16 @@ func TestDiskConcurrentCorruptHealing(t *testing.T) {
 	if st := d.CacheStats(); st.Entries != 0 {
 		t.Fatalf("occupancy after racing heals = %d entries, want exactly 0 (exactly-once delete)", st.Entries)
 	}
-	if _, err := os.Stat(filepath.Join(dir, key+".json")); !os.IsNotExist(err) {
+	if _, err := os.Stat(filepath.Join(dir, key+".rec")); !os.IsNotExist(err) {
 		t.Fatalf("corrupt file still present (stat err %v)", err)
 	}
 
 	res := &soc.Result{EnergyJ: 7.5, Completed: true}
-	if err := d.Put(key, res); err != nil {
+	if err := d.Put(key, mustRecord(t, key, res)); err != nil {
 		t.Fatalf("healing Put failed: %v", err)
 	}
 	got, ok := d.Get(key)
-	if !ok || engine.ResultDigest(got) != engine.ResultDigest(res) {
+	if !ok || got.Digest() != engine.ResultDigest(res) {
 		t.Fatal("slot did not re-fill after healing")
 	}
 	if st := d.CacheStats(); st.Entries != 1 {
@@ -80,11 +80,11 @@ func TestDiskSyncRoundtrip(t *testing.T) {
 	}
 	key := strings.Repeat("cd", 16)
 	res := &soc.Result{EnergyJ: 2.25, TasksDone: 4, Completed: true}
-	if err := d.Put(key, res); err != nil {
+	if err := d.Put(key, mustRecord(t, key, res)); err != nil {
 		t.Fatalf("synced Put: %v", err)
 	}
 	got, ok := d.Get(key)
-	if !ok || engine.ResultDigest(got) != engine.ResultDigest(res) {
+	if !ok || got.Digest() != engine.ResultDigest(res) {
 		t.Fatal("synced entry did not round-trip")
 	}
 }
@@ -123,7 +123,7 @@ func TestRemoteRejectsDigestMismatch(t *testing.T) {
 func TestBlobServerDigests(t *testing.T) {
 	ts, blob, store := blobServerForTest(t)
 	key, res := computeResult(t, 6)
-	if err := store.Put(key, res); err != nil {
+	if err := store.Put(key, mustRecord(t, key, res)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -164,7 +164,7 @@ func TestBlobServerDigests(t *testing.T) {
 
 	// The honest client path (claimed digest matches) still works.
 	remote := newRemote(t, engine.RemoteOptions{BaseURL: ts.URL})
-	if err := remote.Put(other, res); err != nil {
+	if err := remote.Put(other, mustRecord(t, other, res)); err != nil {
 		t.Fatalf("honest Put refused: %v", err)
 	}
 	if _, ok := store.Get(other); !ok {

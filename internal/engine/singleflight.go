@@ -7,10 +7,13 @@ import (
 )
 
 // flight is one in-progress simulation shared by every job with the same
-// cache key: the leader runs it, waiters block on done and read r/err.
+// cache key: the leader runs it, waiters block on done and read the
+// outcome. The record travels alongside the decoded result so waiters
+// are served the same pre-encoded bytes a cache hit would be.
 type flight struct {
 	done chan struct{}
 	r    *soc.Result
+	rec  *Record
 	err  error
 }
 
@@ -41,10 +44,10 @@ func (g *flightGroup) join(key string) (*flight, bool) {
 // finish publishes the leader's outcome to the waiters and retires the
 // flight, so later jobs with the same key probe the cache (which the
 // leader populated before calling finish) instead of a spent flight.
-func (g *flightGroup) finish(key string, f *flight, r *soc.Result, err error) {
+func (g *flightGroup) finish(key string, f *flight, r *soc.Result, rec *Record, err error) {
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
-	f.r, f.err = r, err
+	f.r, f.rec, f.err = r, rec, err
 	close(f.done)
 }

@@ -5,8 +5,6 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
-
-	"godpm/internal/soc"
 )
 
 // Tier names used by the built-in caches' TierStats.
@@ -85,7 +83,7 @@ type haser interface {
 // for the pre-singleflight probe so only flight leaders pay the network
 // round-trip.
 type localProber interface {
-	GetLocal(key string) (*soc.Result, bool)
+	GetLocal(key string) (*Record, bool)
 }
 
 // blobStater is the batched existence probe a remote tier offers for
@@ -156,7 +154,7 @@ type Tiered struct {
 type wbPut struct {
 	tier int
 	key  string
-	r    *soc.Result
+	rec  *Record
 }
 
 // NewTiered builds a tiered cache with default options over the given
@@ -198,12 +196,12 @@ func (c *Tiered) writeBehind() {
 	for {
 		select {
 		case p := <-c.queue:
-			_ = c.tiers[p.tier].Cache.Put(p.key, p.r)
+			_ = c.tiers[p.tier].Cache.Put(p.key, p.rec)
 		case <-c.closed:
 			for {
 				select {
 				case p := <-c.queue:
-					_ = c.tiers[p.tier].Cache.Put(p.key, p.r)
+					_ = c.tiers[p.tier].Cache.Put(p.key, p.rec)
 				default:
 					return
 				}
@@ -214,7 +212,7 @@ func (c *Tiered) writeBehind() {
 
 // Get probes the tiers fastest-first; a hit in a deeper tier is promoted
 // into every faster synchronous tier before returning.
-func (c *Tiered) Get(key string) (*soc.Result, bool) {
+func (c *Tiered) Get(key string) (*Record, bool) {
 	return c.get(key, len(c.tiers))
 }
 
@@ -224,7 +222,7 @@ func (c *Tiered) Get(key string) (*soc.Result, bool) {
 // network round-trip (the flight leader's full Get) instead of one per
 // job: the network hop collapses into the singleflight exactly like the
 // simulation itself.
-func (c *Tiered) GetLocal(key string) (*soc.Result, bool) {
+func (c *Tiered) GetLocal(key string) (*Record, bool) {
 	n := len(c.tiers)
 	for i := range c.tiers {
 		if _, remote := c.tiers[i].Cache.(blobStater); remote {
@@ -235,26 +233,26 @@ func (c *Tiered) GetLocal(key string) (*soc.Result, bool) {
 	return c.get(key, n)
 }
 
-func (c *Tiered) get(key string, n int) (*soc.Result, bool) {
+func (c *Tiered) get(key string, n int) (*Record, bool) {
 	for i := 0; i < n; i++ {
-		r, ok := c.tiers[i].Cache.Get(key)
+		rec, ok := c.tiers[i].Cache.Get(key)
 		if !ok {
 			continue
 		}
-		c.promote(key, r, i)
-		return r, true
+		c.promote(key, rec, i)
+		return rec, true
 	}
 	return nil, false
 }
 
 // promote writes a tier-i hit into the faster synchronous tiers.
-func (c *Tiered) promote(key string, r *soc.Result, i int) {
+func (c *Tiered) promote(key string, rec *Record, i int) {
 	if i == 0 {
 		return
 	}
 	for j := 0; j < i; j++ {
 		if !c.tiers[j].AsyncPut {
-			_ = c.tiers[j].Cache.Put(key, r)
+			_ = c.tiers[j].Cache.Put(key, rec)
 		}
 	}
 	c.promotions.Add(1)
@@ -264,18 +262,18 @@ func (c *Tiered) promote(key string, r *soc.Result, i int) {
 // Puts for the asynchronous ones. A full write-behind queue drops the
 // Put (counted) instead of blocking: the local tiers already hold the
 // result, so the only cost is a replication opportunity.
-func (c *Tiered) Put(key string, r *soc.Result) error {
+func (c *Tiered) Put(key string, rec *Record) error {
 	var firstErr error
 	for i := range c.tiers {
 		if c.tiers[i].AsyncPut {
 			select {
-			case c.queue <- wbPut{tier: i, key: key, r: r}:
+			case c.queue <- wbPut{tier: i, key: key, rec: rec}:
 			default:
 				c.drops[i].Add(1)
 			}
 			continue
 		}
-		if err := c.tiers[i].Cache.Put(key, r); err != nil && firstErr == nil {
+		if err := c.tiers[i].Cache.Put(key, rec); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -336,8 +334,8 @@ func (c *Tiered) Warm(ctx context.Context, keys []string) int {
 			go func(k string) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				if r, ok := c.tiers[i].Cache.Get(k); ok {
-					c.promote(k, r, i)
+				if rec, ok := c.tiers[i].Cache.Get(k); ok {
+					c.promote(k, rec, i)
 					n.Add(1)
 				}
 			}(k)

@@ -25,11 +25,11 @@ func newGatedCache() *gatedCache {
 
 func (g *gatedCache) release() { g.once.Do(func() { close(g.gate) }) }
 
-func (g *gatedCache) Get(key string) (*soc.Result, bool) { return g.inner.Get(key) }
+func (g *gatedCache) Get(key string) (*engine.Record, bool) { return g.inner.Get(key) }
 
-func (g *gatedCache) Put(key string, r *soc.Result) error {
+func (g *gatedCache) Put(key string, rec *engine.Record) error {
 	<-g.gate
-	return g.inner.Put(key, r)
+	return g.inner.Put(key, rec)
 }
 
 func waitFor(t *testing.T, what string, cond func() bool) {
@@ -46,6 +46,16 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 
 func testKey(b byte) string { return strings.Repeat(string([]byte{b}), 64) }
 
+// recFor wraps a result into a record, panicking on the (impossible)
+// marshal failure — usable from non-test goroutines.
+func recFor(key string, r *soc.Result) *engine.Record {
+	rec, err := engine.NewRecord(key, r)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}
+
 func TestTieredPromotesDeeperHits(t *testing.T) {
 	fast := engine.NewLRU(engine.LRUOptions{})
 	slow := engine.NewLRU(engine.LRUOptions{})
@@ -55,12 +65,12 @@ func TestTieredPromotesDeeperHits(t *testing.T) {
 	)
 	defer tiered.Close()
 
-	key, r := testKey('a'), &soc.Result{EnergyJ: 42}
-	if err := slow.Put(key, r); err != nil {
+	key := testKey('a')
+	if err := slow.Put(key, recFor(key, &soc.Result{EnergyJ: 42})); err != nil {
 		t.Fatal(err)
 	}
 	got, ok := tiered.Get(key)
-	if !ok || got.EnergyJ != 42 {
+	if !ok || energyHit(t, got) != 42 {
 		t.Fatalf("Get = %v, %v; want the slow tier's entry", got, ok)
 	}
 	if !fast.Has(key) {
@@ -88,7 +98,7 @@ func TestTieredWriteBehindDelivers(t *testing.T) {
 	defer tiered.Close()
 
 	key := testKey('b')
-	if err := tiered.Put(key, &soc.Result{EnergyJ: 1}); err != nil {
+	if err := tiered.Put(key, recFor(key, &soc.Result{EnergyJ: 1})); err != nil {
 		t.Fatal(err)
 	}
 	if !local.Has(key) {
@@ -110,7 +120,8 @@ func TestTieredWriteBehindDropsWhenFull(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 6; i++ {
-			tiered.Put(testKey(byte('a'+i)), &soc.Result{})
+			k := testKey(byte('a' + i))
+			tiered.Put(k, recFor(k, &soc.Result{}))
 		}
 	}()
 	select {
@@ -138,7 +149,7 @@ func TestTieredCloseFlushesQueue(t *testing.T) {
 	)
 	keys := []string{testKey('1'), testKey('2'), testKey('3'), testKey('4')}
 	for _, k := range keys {
-		if err := tiered.Put(k, &soc.Result{}); err != nil {
+		if err := tiered.Put(k, recFor(k, &soc.Result{})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -166,7 +177,7 @@ func TestTieredWarmPromotesPresentKeys(t *testing.T) {
 
 	present := []string{testKey('a'), testKey('b'), testKey('c')}
 	for _, k := range present {
-		if err := deep.Put(k, &soc.Result{EnergyJ: 7}); err != nil {
+		if err := deep.Put(k, recFor(k, &soc.Result{EnergyJ: 7})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -213,7 +224,7 @@ func TestTieredGetLocalSkipsRemoteStyleTiers(t *testing.T) {
 	defer tiered.Close()
 
 	key := testKey('e')
-	if err := deep.Put(key, &soc.Result{}); err != nil {
+	if err := deep.Put(key, recFor(key, &soc.Result{})); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := tiered.GetLocal(key); ok {
@@ -241,7 +252,7 @@ func TestTieredStatsFlatten(t *testing.T) {
 	defer tiered.Close()
 
 	key := testKey('f')
-	if err := tiered.Put(key, &soc.Result{}); err != nil {
+	if err := tiered.Put(key, recFor(key, &soc.Result{})); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := tiered.Get(key); !ok {
