@@ -27,6 +27,7 @@ import (
 	"godpm/internal/soc"
 	"godpm/internal/task"
 	"godpm/internal/thermal"
+	"godpm/internal/workload"
 )
 
 // benchTuning keeps a full scenario pair around a second of wall time.
@@ -111,6 +112,44 @@ func BenchmarkSimSpeed(b *testing.B) {
 	}
 	b.Run("A", func(b *testing.B) { bench(b, experiments.A1(benchTuning())) })
 	b.Run("BC", func(b *testing.B) { bench(b, experiments.B(benchTuning())) })
+}
+
+// idleHeavyConfig is an ON/OFF workload dominated by idle time: ~40 ms
+// bursts at 200 req/s separated by ~1.6 s lulls at 0.5 req/s, the regime
+// DPM exists for — and the one where a ticked kernel wastes almost all
+// of its wall clock sampling an idle SoC.
+func idleHeavyConfig(seed uint64, numTasks int) soc.Config {
+	p := workload.DefaultMMPP(workload.NewSeed(seed), numTasks)
+	p.QuietRate = 0.5
+	p.MeanQuiet = 1600 * sim.Ms
+	return soc.Config{
+		IPs:     []soc.IPSpec{{Name: "ip0", Arrivals: p.MustGenerate()}},
+		Battery: soc.DefaultBattery(0.95),
+		Policy:  soc.PolicyDPM,
+	}
+}
+
+// BenchmarkSimSpeedIdle pins the idle fast-forward speedup: the same
+// idle-heavy scenario through the default kernel (which jumps the clock
+// across provably-idle gaps) and through a ticked run (NoFastForward).
+// The fastforward/ticked Kcycle/s ratio is the committed evidence for
+// the event-horizon optimisation; the determinism and fork-equivalence
+// tests pin that the results are bit-identical.
+func BenchmarkSimSpeedIdle(b *testing.B) {
+	cfg := idleHeavyConfig(11, 40)
+	bench := func(b *testing.B, opts soc.RunOptions) {
+		var kcps float64
+		for i := 0; i < b.N; i++ {
+			res, err := soc.RunWith(context.Background(), cfg, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			kcps = res.KCyclesPerSec()
+		}
+		b.ReportMetric(kcps, "Kcycle/s")
+	}
+	b.Run("fastforward", func(b *testing.B) { bench(b, soc.RunOptions{}) })
+	b.Run("ticked", func(b *testing.B) { bench(b, soc.RunOptions{NoFastForward: true}) })
 }
 
 // BenchmarkEngine runs the full six-scenario Table 2 grid (12 simulations:

@@ -299,6 +299,48 @@ type server struct {
 	// abandoned work stops burning workers) or a failed row/trailer
 	// write. Surfaced in /statsz.
 	tourAborts atomic.Int64
+
+	// Live tournament progress, surfaced in /statsz and rendered by
+	// dpmtop: how many tournaments are in flight, cells done/total summed
+	// across them, and the provisional energy leader most recently
+	// reported by any of them.
+	tourMu     sync.Mutex
+	tourActive int
+	tourDone   int
+	tourTotal  int
+	tourLeader string
+}
+
+// tourStart registers an in-flight tournament of total cells. It returns
+// the per-run progress callback that keeps the /statsz snapshot current,
+// and the end function that retires the run — subtracting its cells so
+// finished tournaments don't leave done/total inflated.
+func (s *server) tourStart(total int) (progress func(done, total int, leader string), end func()) {
+	s.tourMu.Lock()
+	s.tourActive++
+	s.tourTotal += total
+	s.tourMu.Unlock()
+	prev := 0
+	progress = func(done, _ int, leader string) {
+		s.tourMu.Lock()
+		s.tourDone += done - prev
+		prev = done
+		if leader != "" {
+			s.tourLeader = leader
+		}
+		s.tourMu.Unlock()
+	}
+	end = func() {
+		s.tourMu.Lock()
+		s.tourActive--
+		s.tourTotal -= total
+		s.tourDone -= prev
+		if s.tourActive == 0 {
+			s.tourLeader = ""
+		}
+		s.tourMu.Unlock()
+	}
+	return progress, end
 }
 
 func newServer(o serverOptions) (*server, error) {
@@ -812,6 +854,14 @@ func (s *server) handleTournament(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.gate.release(weight)
 
+	// Publish live progress (cells done / total, provisional leader) to
+	// /statsz for the duration of the run; the end hook reclaims this
+	// run's cells so finished tournaments don't inflate the gauges.
+	cells := len(tour.Policies) * len(tour.Scenarios) * len(tour.Seeds)
+	progress, endProgress := s.tourStart(cells)
+	tour.Progress = progress
+	defer endProgress()
+
 	// Commit the response before running: ranking needs every result, so
 	// rows only exist at the end — flushing headers now keeps proxies and
 	// clients from timing out on a byte-less connection meanwhile. Errors
@@ -971,6 +1021,14 @@ type statszResponse struct {
 	// run's context is cancelled when that happens, so this is also a
 	// count of tournaments whose remaining work was reclaimed.
 	TournamentAborts int64 `json:"tournament_aborted_streams"`
+	// Tournament progress: gauges over the tournaments currently running
+	// on this replica (cells = policy × scenario × seed simulations, done
+	// as results land, leader = provisional lowest-mean-energy policy).
+	// All zero / empty when no tournament is in flight.
+	TournamentActive     int    `json:"tournament_active"`
+	TournamentCellsDone  int    `json:"tournament_cells_done"`
+	TournamentCellsTotal int    `json:"tournament_cells_total"`
+	TournamentLeader     string `json:"tournament_leader,omitempty"`
 	// RatesPerS are rolling per-second rates over the last minute
 	// (requests, hits, deduped, runs, evictions, errors), sampled from
 	// the cumulative counters once a second.
@@ -1005,6 +1063,12 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		RatesPerS:        s.rates.Rates(),
 		Latency:          map[string]godpm.Latency{},
 	}
+	s.tourMu.Lock()
+	resp.TournamentActive = s.tourActive
+	resp.TournamentCellsDone = s.tourDone
+	resp.TournamentCellsTotal = s.tourTotal
+	resp.TournamentLeader = s.tourLeader
+	s.tourMu.Unlock()
 	if snap := s.latSim.Snapshot(); snap.Count > 0 {
 		resp.Latency[godpm.JournalEndpointSimulate] = godpm.LatencyOf(snap)
 	}

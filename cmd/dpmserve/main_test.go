@@ -735,3 +735,48 @@ func TestReplayPreservesArrivalSpacing(t *testing.T) {
 		t.Fatalf("speedup 6 replay took %v, want well under the 0.6s real-time span", sped)
 	}
 }
+
+// TestStatszTournamentProgress pins the tournament progress gauges: the
+// progress callback moves cells_done and the leader while a run is in
+// flight, the end hook reclaims the run's cells, and a real tournament
+// leaves the gauges at zero once its stream completes.
+func TestStatszTournamentProgress(t *testing.T) {
+	s, ts := newTestServer(t, serverOptions{MaxInflight: 4})
+
+	progress, end := s.tourStart(36)
+	progress(9, 36, "dpm")
+	st := getStatsz(t, ts.URL)
+	if st.TournamentActive != 1 || st.TournamentCellsDone != 9 ||
+		st.TournamentCellsTotal != 36 || st.TournamentLeader != "dpm" {
+		t.Fatalf("mid-run gauges: active=%d done=%d total=%d leader=%q",
+			st.TournamentActive, st.TournamentCellsDone, st.TournamentCellsTotal, st.TournamentLeader)
+	}
+	// A second concurrent run's cells add; its end subtracts only its own.
+	progress2, end2 := s.tourStart(4)
+	progress2(4, 4, "timeout")
+	end2()
+	st = getStatsz(t, ts.URL)
+	if st.TournamentActive != 1 || st.TournamentCellsDone != 9 || st.TournamentCellsTotal != 36 {
+		t.Fatalf("after 2nd run retired: active=%d done=%d total=%d",
+			st.TournamentActive, st.TournamentCellsDone, st.TournamentCellsTotal)
+	}
+	end()
+	st = getStatsz(t, ts.URL)
+	if st.TournamentActive != 0 || st.TournamentCellsDone != 0 ||
+		st.TournamentCellsTotal != 0 || st.TournamentLeader != "" {
+		t.Fatalf("gauges not reclaimed: active=%d done=%d total=%d leader=%q",
+			st.TournamentActive, st.TournamentCellsDone, st.TournamentCellsTotal, st.TournamentLeader)
+	}
+
+	// End to end: a finished tournament run leaves everything at zero too.
+	resp, data := postJSON(t, ts.URL+"/v1/tournament",
+		`{"tasks":10,"seeds":[1],"policies":["dpm","alwayson"],"scenarios":["steady"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	st = getStatsz(t, ts.URL)
+	if st.TournamentActive != 0 || st.TournamentCellsDone != 0 || st.TournamentCellsTotal != 0 {
+		t.Fatalf("post-run gauges not reclaimed: active=%d done=%d total=%d",
+			st.TournamentActive, st.TournamentCellsDone, st.TournamentCellsTotal)
+	}
+}

@@ -94,6 +94,7 @@ type snapshot struct {
 	Hits         int64          `json:"hits"`
 	Misses       int64          `json:"misses"`
 	Runs         int64          `json:"runs"`
+	Forked       int64          `json:"forked"`
 	Errors       int64          `json:"errors"`
 	Deduped      int64          `json:"deduped"`
 	Evictions    int64          `json:"evictions"`
@@ -102,6 +103,12 @@ type snapshot struct {
 	HitRate      float64        `json:"hit_rate"`
 	DedupRate    float64        `json:"dedup_rate"`
 	RunLatency   *godpm.Latency `json:"run_latency"`
+
+	// dpmserve tournament progress gauges (zero when idle).
+	TournamentActive     int    `json:"tournament_active"`
+	TournamentCellsDone  int    `json:"tournament_cells_done"`
+	TournamentCellsTotal int    `json:"tournament_cells_total"`
+	TournamentLeader     string `json:"tournament_leader"`
 
 	// dpmremote counters.
 	Gets        int64 `json:"gets"`
@@ -189,7 +196,8 @@ func counters(s snapshot) []kv {
 	}
 	return []kv{
 		{"runs", s.Runs}, {"hits", s.Hits}, {"misses", s.Misses},
-		{"deduped", s.Deduped}, {"evictions", s.Evictions}, {"errors", s.Errors},
+		{"forked", s.Forked}, {"deduped", s.Deduped},
+		{"evictions", s.Evictions}, {"errors", s.Errors},
 	}
 }
 
@@ -230,6 +238,9 @@ func render(w io.Writer, states []*targetState, clear bool) {
 			fmt.Fprintf(&b, "  cache:  entries %d, bytes %d, hit_rate %.3f, dedup_rate %.3f\n",
 				s.CacheEntries, s.CacheBytes, s.HitRate, s.DedupRate)
 		}
+		if line := tournamentLine(s); line != "" {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
 		if len(s.RatesPerS) > 0 {
 			names := sortedKeys(s.RatesPerS)
 			rp := make([]string, 0, len(names))
@@ -249,13 +260,62 @@ func render(w io.Writer, states []*targetState, clear bool) {
 			writeLatency(&b, "  ", ep, lat[ep])
 		}
 	}
-	if fleet := fleetLatency(states); len(fleet) > 0 {
+	fleet := fleetLatency(states)
+	fleetTour := fleetTournament(states)
+	if len(fleet) > 0 || fleetTour != "" {
 		fmt.Fprintf(&b, "\n▌ fleet (exact sketch merge across targets)\n")
+		if fleetTour != "" {
+			fmt.Fprintf(&b, "  %s\n", fleetTour)
+		}
 		for _, ep := range sortedLatKeys(fleet) {
 			writeLatency(&b, "  ", ep, fleet[ep])
 		}
 	}
 	io.WriteString(w, b.String())
+}
+
+// tournamentLine renders one replica's live tournament progress, or ""
+// when the replica has none in flight.
+func tournamentLine(s snapshot) string {
+	if s.TournamentActive == 0 {
+		return ""
+	}
+	line := fmt.Sprintf("tourney: %d running, cells %d/%d",
+		s.TournamentActive, s.TournamentCellsDone, s.TournamentCellsTotal)
+	if s.TournamentCellsTotal > 0 {
+		line += fmt.Sprintf(" (%.0f%%)",
+			100*float64(s.TournamentCellsDone)/float64(s.TournamentCellsTotal))
+	}
+	if s.TournamentLeader != "" {
+		line += ", leader " + s.TournamentLeader
+	}
+	return line
+}
+
+// fleetTournament sums tournament progress across replicas (cells add;
+// the leader shown is the one reported by the replica with the most
+// cells done). Returns "" unless at least two targets are reachable and
+// a tournament is running somewhere.
+func fleetTournament(states []*targetState) string {
+	var sum snapshot
+	reachable, bestDone := 0, -1
+	for _, st := range states {
+		if st.Err != "" {
+			continue
+		}
+		reachable++
+		s := st.Snap
+		sum.TournamentActive += s.TournamentActive
+		sum.TournamentCellsDone += s.TournamentCellsDone
+		sum.TournamentCellsTotal += s.TournamentCellsTotal
+		if s.TournamentActive > 0 && s.TournamentCellsDone > bestDone {
+			bestDone, sum.TournamentLeader = s.TournamentCellsDone, s.TournamentLeader
+		}
+	}
+	if reachable < 2 || sum.TournamentActive == 0 {
+		return ""
+	}
+	return tournamentLine(sum)
 }
 
 // writeLatency renders one endpoint's quantile line and sketch bars.

@@ -213,3 +213,41 @@ func TestHistBars(t *testing.T) {
 		t.Fatal("no bar mass rendered")
 	}
 }
+
+func TestTournamentProgressLine(t *testing.T) {
+	idle := dpmservePayload(1, 1, latencyFor(1))
+	_, idleURL := serveStatsz(t, idle)
+
+	busy := dpmservePayload(2, 2, latencyFor(1))
+	busy["tournament_active"] = 1
+	busy["tournament_cells_done"] = 9
+	busy["tournament_cells_total"] = 36
+	busy["tournament_leader"] = "dpm"
+	_, busyURL := serveStatsz(t, busy)
+
+	states := []*targetState{{URL: idleURL}, {URL: busyURL}}
+	pollAll(http.DefaultClient, states)
+
+	var b strings.Builder
+	render(&b, states, false)
+	out := b.String()
+	if !strings.Contains(out, "tourney: 1 running, cells 9/36 (25%), leader dpm") {
+		t.Fatalf("missing per-target tournament line:\n%s", out)
+	}
+	// Two reachable targets with one tournament somewhere → fleet line too.
+	if !strings.Contains(out, "fleet") {
+		t.Fatalf("no fleet section:\n%s", out)
+	}
+	if got := fleetTournament(states); got != "tourney: 1 running, cells 9/36 (25%), leader dpm" {
+		t.Fatalf("fleet tournament line = %q", got)
+	}
+
+	// Idle everywhere → no tournament lines at all.
+	states = []*targetState{{URL: idleURL}}
+	pollAll(http.DefaultClient, states)
+	b.Reset()
+	render(&b, states, false)
+	if strings.Contains(b.String(), "tourney:") {
+		t.Fatalf("idle replica rendered a tournament line:\n%s", b.String())
+	}
+}

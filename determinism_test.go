@@ -14,6 +14,7 @@
 package godpm_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -36,7 +37,12 @@ type golden struct {
 
 func capture(t *testing.T, s experiments.Scenario) (golden, *soc.Result) {
 	t.Helper()
-	res, err := soc.Run(s.Config)
+	return captureWith(t, s, soc.RunOptions{})
+}
+
+func captureWith(t *testing.T, s experiments.Scenario, opts soc.RunOptions) (golden, *soc.Result) {
+	t.Helper()
+	res, err := soc.RunWith(context.Background(), s.Config, opts)
 	if err != nil {
 		t.Fatalf("%s: %v", s.ID, err)
 	}
@@ -76,6 +82,16 @@ func TestKernelDeterminism(t *testing.T) {
 			}
 			if d1, d2 := engine.ResultDigest(r1), engine.ResultDigest(r2); d1 != d2 {
 				t.Errorf("result digests differ across runs: %s vs %s", d1, d2)
+			}
+			// The idle fast-forward (on by default) must be invisible: a
+			// ticked run of the same scenario reproduces the golden bit for
+			// bit, including the delta-cycle scheduling checksum.
+			gt, rt := captureWith(t, s, soc.RunOptions{NoFastForward: true})
+			if gt != g1 {
+				t.Errorf("ticked (NoFastForward) run diverges from fast-forwarded run:\n  ticked       %+v\n  fastforward  %+v", gt, g1)
+			}
+			if d1, dt := engine.ResultDigest(r1), engine.ResultDigest(rt); d1 != dt {
+				t.Errorf("ticked result digest differs: fastforward %s, ticked %s", d1, dt)
 			}
 			want, ok := kernelGoldens[s.ID]
 			if !ok {

@@ -12,10 +12,18 @@
 // periodic-with-jitter, heavy-tailed, CSV trace replay — see GenSpec and
 // WorkloadSeed), execute grids on the concurrent cached batch engine, and
 // rank policies across generated scenarios with RunTournament (the
-// cmd/dpmarena CLI). The engine's cache is a sharded bounded LRU with
-// singleflight dedup (concurrent identical jobs collapse to one
-// simulation), which is what the long-running cmd/dpmserve HTTP service
-// builds on to serve simulation and tournament traffic. Caches compose
+// cmd/dpmarena CLI). Runs fast-forward across provably idle stretches by
+// default — the kernel executes the periodic accounting directly instead
+// of scheduling every empty instant, bit-identical to classic ticked
+// execution (RunOptions.NoFastForward forces the latter for comparison).
+// The engine's cache is a sharded bounded LRU with singleflight dedup
+// (concurrent identical jobs collapse to one simulation), which is what
+// the long-running cmd/dpmserve HTTP service builds on to serve
+// simulation and tournament traffic. Plans whose jobs differ only in
+// Horizon warm-start from a shared snapshot-forked session: the common
+// trajectory prefix simulates once and each job's result is cut at its
+// own horizon (Stats.Forked counts the replicates served this way),
+// while every job keeps its own cache key. Caches compose
 // into tiers (NewTieredCache): memory → disk → a shared hash-addressed
 // result store served by cmd/dpmremote (NewRemoteCache speaks its
 // versioned blob protocol), so a fleet of dpmserve replicas runs each

@@ -1,0 +1,153 @@
+// Fast-forward equivalence property test: the kernel's idle fast-forward
+// (soc runs opt their accountant tick into sim.GapPeriodic) is a pure
+// scheduling shortcut, so every configuration must produce bit-identical
+// results with it on (the default) and off (RunOptions.NoFastForward).
+// The kernel-level contract is pinned in internal/sim; this test sweeps
+// the property across the full stack — generator kinds, policies, battery
+// chemistries, multi-IP GEM configurations, bus-occupancy polling and
+// early-stop conditions — over several seeds each.
+package godpm_test
+
+import (
+	"context"
+	"testing"
+
+	"godpm/internal/engine"
+	"godpm/internal/gem"
+	"godpm/internal/sim"
+	"godpm/internal/soc"
+	"godpm/internal/workload"
+)
+
+// ffCase is one point of the property sweep: a seeded config generator
+// plus the (fast-forward-independent) run options it is executed with.
+type ffCase struct {
+	name string
+	cfg  func(seed uint64) soc.Config
+	opts soc.RunOptions
+}
+
+func ffCases() []ffCase {
+	idleMMPP := func(seed uint64, numTasks int) workload.Spec {
+		p := workload.DefaultMMPP(workload.NewSeed(seed), numTasks)
+		p.QuietRate = 0.5
+		p.MeanQuiet = 1600 * sim.Ms
+		return workload.MMPPSpec(p)
+	}
+	return []ffCase{
+		{name: "mmpp-dpm", cfg: func(seed uint64) soc.Config {
+			return soc.Config{
+				IPs:    []soc.IPSpec{{Name: "ip0", Gen: workload.MMPPSpec(workload.DefaultMMPP(workload.NewSeed(seed), 30))}},
+				Policy: soc.PolicyDPM,
+			}
+		}},
+		{name: "idle-mmpp-timeout-linear", cfg: func(seed uint64) soc.Config {
+			return soc.Config{
+				IPs:     []soc.IPSpec{{Name: "ip0", Gen: idleMMPP(seed, 24)}},
+				Policy:  soc.PolicyTimeout,
+				Battery: soc.BatteryConfig{Kind: "linear", CapacityJ: 20, InitialSoC: 0.9},
+			}
+		}},
+		{name: "heavytail-closed-dpm", cfg: func(seed uint64) soc.Config {
+			return soc.Config{
+				IPs:    []soc.IPSpec{{Name: "ip0", Gen: workload.HeavyTailSpec(workload.DefaultHeavyTail(workload.NewSeed(seed), 30))}},
+				Policy: soc.PolicyDPM,
+			}
+		}},
+		{name: "periodic-greedy", cfg: func(seed uint64) soc.Config {
+			return soc.Config{
+				IPs:    []soc.IPSpec{{Name: "ip0", Gen: workload.PeriodicSpec(workload.DefaultPeriodic(workload.NewSeed(seed), 30))}},
+				Policy: soc.PolicyGreedy,
+			}
+		}},
+		{name: "burst-alwayson", cfg: func(seed uint64) soc.Config {
+			return soc.Config{
+				IPs:    []soc.IPSpec{{Name: "ip0", Gen: workload.BurstSpec(workload.DefaultBurst(int64(seed), 30))}},
+				Policy: soc.PolicyAlwaysOn,
+			}
+		}},
+		{name: "two-ip-gem", cfg: func(seed uint64) soc.Config {
+			s := workload.NewSeed(seed)
+			return soc.Config{
+				IPs: []soc.IPSpec{
+					{Name: "ht", Gen: workload.HeavyTailSpec(workload.DefaultHeavyTail(s.Split("ht"), 20))},
+					{Name: "mm", Gen: workload.MMPPSpec(workload.DefaultMMPP(s.Split("mm"), 20))},
+				},
+				Policy: soc.PolicyDPM,
+				UseGEM: true,
+			}
+		}},
+		{name: "two-ip-gem-buslimited", cfg: func(seed uint64) soc.Config {
+			// BusOccupancyLimit > 0 re-evaluates the GEM every tick, the
+			// densest per-sample work the accountant can carry through a gap.
+			s := workload.NewSeed(seed)
+			return soc.Config{
+				IPs: []soc.IPSpec{
+					{Name: "ht", Gen: workload.HeavyTailSpec(workload.DefaultHeavyTail(s.Split("ht"), 20))},
+					{Name: "mm", Gen: workload.MMPPSpec(workload.DefaultMMPP(s.Split("mm"), 20))},
+				},
+				Policy: soc.PolicyDPM,
+				UseGEM: true,
+				GEM:    gem.Config{BusOccupancyLimit: 0.4},
+			}
+		}},
+		{name: "idle-mmpp-stop-on-soc", cfg: func(seed uint64) soc.Config {
+			return soc.Config{
+				IPs:     []soc.IPSpec{{Name: "ip0", Gen: idleMMPP(seed, 24)}},
+				Policy:  soc.PolicyDPM,
+				Battery: soc.DefaultBattery(0.95),
+			}
+		}, opts: soc.RunOptions{StopWhen: []soc.StopCondition{soc.StopOnSoC(0.93)}}},
+		{name: "mains-dpm", cfg: func(seed uint64) soc.Config {
+			b := soc.DefaultBattery(0.95)
+			b.Mains = true
+			return soc.Config{
+				IPs:     []soc.IPSpec{{Name: "ip0", Gen: idleMMPP(seed, 24)}},
+				Policy:  soc.PolicyDPM,
+				Battery: b,
+			}
+		}},
+	}
+}
+
+// TestFastForwardEquivalenceProperty runs every case over several seeds in
+// both kernel modes and asserts the results are bit-identical: same
+// energy, temperature, delta-cycle count (the scheduling checksum), stop
+// reason and full result digest.
+func TestFastForwardEquivalenceProperty(t *testing.T) {
+	seeds := []uint64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, c := range ffCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				cfg := c.cfg(seed)
+				ff, err := soc.RunWith(context.Background(), cfg, c.opts)
+				if err != nil {
+					t.Fatalf("seed %d fastforward: %v", seed, err)
+				}
+				tickedOpts := c.opts
+				tickedOpts.NoFastForward = true
+				tk, err := soc.RunWith(context.Background(), cfg, tickedOpts)
+				if err != nil {
+					t.Fatalf("seed %d ticked: %v", seed, err)
+				}
+				if ff.EnergyJ != tk.EnergyJ || ff.AvgTempC != tk.AvgTempC ||
+					ff.PeakTempC != tk.PeakTempC || ff.Duration != tk.Duration ||
+					ff.Deltas != tk.Deltas || ff.TasksDone != tk.TasksDone ||
+					ff.FinalSoC != tk.FinalSoC || ff.StopReason != tk.StopReason {
+					t.Errorf("seed %d: modes diverge:\n  fastforward EnergyJ=%v AvgTempC=%v Deltas=%d Duration=%d Tasks=%d SoC=%v Stop=%q\n  ticked      EnergyJ=%v AvgTempC=%v Deltas=%d Duration=%d Tasks=%d SoC=%v Stop=%q",
+						seed,
+						ff.EnergyJ, ff.AvgTempC, ff.Deltas, ff.Duration, ff.TasksDone, ff.FinalSoC, ff.StopReason,
+						tk.EnergyJ, tk.AvgTempC, tk.Deltas, tk.Duration, tk.TasksDone, tk.FinalSoC, tk.StopReason)
+				}
+				if dff, dtk := engine.ResultDigest(ff), engine.ResultDigest(tk); dff != dtk {
+					t.Errorf("seed %d: result digests diverge: fastforward %s, ticked %s", seed, dff, dtk)
+				}
+			}
+		})
+	}
+}

@@ -9,7 +9,6 @@ package battery
 
 import (
 	"fmt"
-	"math"
 
 	"godpm/internal/sim"
 )
@@ -113,6 +112,12 @@ type Model interface {
 	TotalCharge() float64
 	// CapacityJ returns the nominal capacity in joules.
 	CapacityJ() float64
+	// Clone returns an independent copy of the model in its current state:
+	// stepping the clone must reproduce bit-for-bit what stepping the
+	// original would, without touching the original. Run snapshots step a
+	// clone through the final partial interval so the live trajectory is
+	// not perturbed.
+	Clone() Model
 }
 
 // Linear is an energy reservoir with an optional rate-capacity penalty:
@@ -166,6 +171,9 @@ func (b *Linear) TotalCharge() float64 { return b.SoC() }
 // CapacityJ implements Model.
 func (b *Linear) CapacityJ() float64 { return b.capacity }
 
+// Clone implements Model.
+func (b *Linear) Clone() Model { c := *b; return &c }
+
 // KiBaM is the kinetic battery model: charge is split between an available
 // well (fraction C of capacity) that supplies the load directly and a bound
 // well that refills the available well at a rate proportional to the head
@@ -177,6 +185,7 @@ type KiBaM struct {
 	capacity  float64 // joules
 	c         float64 // available-well fraction, 0 < c < 1
 	kPerSec   float64 // valve rate constant (1/s)
+	maxStep   float64 // Euler stability bound 1/(10k), precomputed
 	available float64 // joules in the available well
 	bound     float64 // joules in the bound well
 }
@@ -192,6 +201,7 @@ func NewKiBaM(capacityJ, initialSoC, c, kPerSec float64) *KiBaM {
 		capacity:  capacityJ,
 		c:         c,
 		kPerSec:   kPerSec,
+		maxStep:   1 / (10 * kPerSec),
 		available: total * c,
 		bound:     total * (1 - c),
 	}
@@ -204,7 +214,7 @@ func (b *KiBaM) Step(power float64, dt sim.Time) {
 	}
 	remaining := dt.Seconds()
 	// Explicit Euler with steps bounded by 1/(10k) for stability.
-	maxStep := 1 / (10 * b.kPerSec)
+	maxStep := b.maxStep
 	for remaining > 1e-15 {
 		h := remaining
 		if h > maxStep {
@@ -240,7 +250,10 @@ func (b *KiBaM) Recharge(soc float64) {
 // relative to its share of capacity.
 func (b *KiBaM) SoC() float64 {
 	soc := b.available / (b.c * b.capacity)
-	return math.Min(soc, 1)
+	if soc > 1 {
+		return 1
+	}
+	return soc
 }
 
 // TotalCharge implements Model.
@@ -248,3 +261,6 @@ func (b *KiBaM) TotalCharge() float64 { return (b.available + b.bound) / b.capac
 
 // CapacityJ implements Model.
 func (b *KiBaM) CapacityJ() float64 { return b.capacity }
+
+// Clone implements Model.
+func (b *KiBaM) Clone() Model { c := *b; return &c }

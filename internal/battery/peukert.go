@@ -59,6 +59,9 @@ func (b *Peukert) TotalCharge() float64 { return b.SoC() }
 // CapacityJ implements Model.
 func (b *Peukert) CapacityJ() float64 { return b.capacity }
 
+// Clone implements Model.
+func (b *Peukert) Clone() Model { c := *b; return &c }
+
 // Recharge sets the state of charge (an external charger).
 func (b *Peukert) Recharge(soc float64) {
 	if soc < 0 || soc > 1 {

@@ -85,6 +85,11 @@ type Stats struct {
 	// a concurrent identical simulation without probing the cache. They
 	// are included in Hits.
 	Deduped int64 `json:"deduped"`
+	// Forked counts the simulations avoided by fork groups (sweep
+	// warm-start): jobs served from a shared soc.RunForked session beyond
+	// the first member. They are included in Misses but not in Runs, so
+	// Runs == Misses - Forked when caching is enabled.
+	Forked int64 `json:"forked"`
 	// Evictions, CacheEntries and CacheBytes mirror the cache's counters
 	// when the configured cache reports them (see StatsReporter); zero
 	// otherwise.
@@ -115,8 +120,8 @@ type Engine struct {
 	onResult func(i int, jr JobResult)
 	cbMu     sync.Mutex
 
-	hits, misses, runs, errs, canceled, deduped atomic.Int64
-	runLat                                      stats.Histogram
+	hits, misses, runs, errs, canceled, deduped, forked atomic.Int64
+	runLat                                              stats.Histogram
 }
 
 // New builds an engine.
@@ -147,6 +152,7 @@ func (e *Engine) Stats() Stats {
 		Errors:   e.errs.Load(),
 		Canceled: e.canceled.Load(),
 		Deduped:  e.deduped.Load(),
+		Forked:   e.forked.Load(),
 	}
 	if r, ok := e.cache.(StatsReporter); ok {
 		cs := r.CacheStats()
@@ -182,56 +188,95 @@ func (e *Engine) simulate(ctx context.Context, job Job) (*soc.Result, error) {
 // Cancellation is sample-granular: in-flight simulations poll ctx at every
 // sample tick and abort with ctx.Err(); queued jobs are abandoned with
 // ctx.Err() without starting.
+//
+// Jobs whose configs differ only in Horizon (or stop conditions) are
+// batched into fork groups and run as one shared soc.RunForked session —
+// the common trajectory prefix simulates once; see fork.go. Each member
+// still gets its own cache entry and its Result is bit-identical to a
+// solo run's.
 func (e *Engine) Run(ctx context.Context, plan Plan) ([]JobResult, error) {
+	return e.RunObserved(ctx, plan, nil)
+}
+
+// RunObserved is Run with a per-invocation result observer: onResult
+// (when non-nil) sees every finished job in completion order, serialised
+// with the engine-wide Options callbacks. It exists for callers that
+// stream progress of one plan (e.g. tournament progress reporting) on a
+// shared long-lived engine.
+func (e *Engine) RunObserved(ctx context.Context, plan Plan, onResult func(i int, jr JobResult)) ([]JobResult, error) {
 	n := len(plan.Jobs)
 	results := make([]JobResult, n)
 	e.warm(ctx, plan)
+	units := e.planUnits(plan)
 
 	workers := e.workers
-	if workers > n {
-		workers = n
+	if workers > len(units) {
+		workers = len(units)
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
-	idx := make(chan int)
+	notify := func(i int, jr JobResult) {
+		if e.onResult == nil && onResult == nil {
+			return
+		}
+		e.cbMu.Lock()
+		if e.onResult != nil {
+			e.onResult(i, jr)
+		}
+		if onResult != nil {
+			onResult(i, jr)
+		}
+		e.cbMu.Unlock()
+	}
+
+	uidx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
+			for u := range uidx {
+				unit := units[u]
 				if e.onStart != nil {
 					e.cbMu.Lock()
-					e.onStart(i, plan.Jobs[i])
+					for _, i := range unit.indices {
+						e.onStart(i, plan.Jobs[i])
+					}
 					e.cbMu.Unlock()
 				}
-				jr := e.runJob(ctx, plan.Jobs[i])
-				results[i] = jr
-				if e.onResult != nil {
-					e.cbMu.Lock()
-					e.onResult(i, jr)
-					e.cbMu.Unlock()
+				if len(unit.indices) == 1 {
+					i := unit.indices[0]
+					jr := e.runJob(ctx, plan.Jobs[i])
+					results[i] = jr
+					notify(i, jr)
+					continue
+				}
+				e.runGroup(ctx, plan.Jobs, unit.indices, results)
+				for _, i := range unit.indices {
+					notify(i, results[i])
 				}
 			}
 		}()
 	}
 feed:
-	for i := 0; i < n; i++ {
+	for u := 0; u < len(units); u++ {
 		select {
-		case idx <- i:
+		case uidx <- u:
 		case <-ctx.Done():
 			// Mark everything not yet handed to a worker as abandoned.
 			// Abandonment is cancellation, not failure.
-			for j := i; j < n; j++ {
-				results[j] = JobResult{Job: plan.Jobs[j], Err: ctx.Err()}
-				e.canceled.Add(1)
+			for j := u; j < len(units); j++ {
+				for _, i := range units[j].indices {
+					results[i] = JobResult{Job: plan.Jobs[i], Err: ctx.Err()}
+					e.canceled.Add(1)
+				}
 			}
 			break feed
 		}
 	}
-	close(idx)
+	close(uidx)
 	wg.Wait()
 
 	var errs []error

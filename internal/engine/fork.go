@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"time"
+
+	"godpm/internal/soc"
+)
+
+// Fork groups — the engine end of the sweep warm-start. Jobs whose
+// configurations are identical except for Horizon (and stop conditions,
+// which live in RunOptions) simulate the same trajectory up to their
+// respective cut points, so the engine batches them into one
+// soc.RunForked session: the shared prefix runs once and each member's
+// Result is snapshotted at its cut, bit-identical to a solo run (the soc
+// fork-equivalence tests pin this). Each member keeps its own cache key,
+// so a later solo run of any member is still a hit.
+
+// forkable reports whether a job may join a fork group. Observed jobs run
+// solo (a shared session has nowhere to attach per-member observers),
+// volatile jobs are not pure functions of their config, NoFastForward is
+// a benchmarking knob asking for untouched solo scheduling, and per-tick
+// GEM bus polling is rejected by soc.RunForked. Cold-run engines
+// (NoCache) never fork: their benchmarks price solo simulations.
+func (e *Engine) forkable(job Job) bool {
+	if e.cache == nil {
+		return false
+	}
+	if len(job.Options.Observers) > 0 || job.Options.Volatile() || job.Options.NoFastForward {
+		return false
+	}
+	return !(job.Config.UseGEM && job.Config.GEM.BusOccupancyLimit > 0)
+}
+
+// forkPrefixKey is the grouping key: the fingerprint of the normalized
+// config with Horizon zeroed. Normalized horizons are never zero, so the
+// zero marks "any horizon" — two jobs share a prefix key iff their
+// configs are identical modulo Horizon, which is exactly when they share
+// a trajectory prefix.
+func forkPrefixKey(cfg soc.Config) (string, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return "", err
+	}
+	norm.Horizon = 0
+	h := sha256.New()
+	io.WriteString(h, fingerprintVersion)
+	io.WriteString(h, "|forkprefix")
+	writeConfig(h, &norm)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// workUnit is one dispatchable unit of a plan: a single job, or a fork
+// group that one worker runs as a shared session.
+type workUnit struct {
+	indices []int // plan positions; len > 1 means a fork group
+}
+
+// planUnits partitions the plan into work units, preserving plan order by
+// first occurrence. Unforkable jobs (and jobs whose prefix key cannot be
+// computed — their runJob will surface the error) become solo units;
+// forkable jobs sharing a prefix key collapse into one group unit.
+func (e *Engine) planUnits(plan Plan) []workUnit {
+	// A group needs at least two forkable jobs; below that, skip the
+	// prefix-key hashing entirely — it keeps the single-job serving path
+	// (a cache hit plus nothing else) free of per-request config copies.
+	nForkable := 0
+	for _, job := range plan.Jobs {
+		if e.forkable(job) {
+			nForkable++
+		}
+	}
+	if nForkable < 2 {
+		units := make([]workUnit, len(plan.Jobs))
+		for i := range plan.Jobs {
+			units[i] = workUnit{indices: []int{i}}
+		}
+		return units
+	}
+
+	var units []workUnit
+	slot := make(map[string]int)
+	for i, job := range plan.Jobs {
+		key := ""
+		if e.forkable(job) {
+			if k, err := forkPrefixKey(job.Config); err == nil {
+				key = k
+			}
+		}
+		if key == "" {
+			units = append(units, workUnit{indices: []int{i}})
+			continue
+		}
+		if u, ok := slot[key]; ok {
+			units[u].indices = append(units[u].indices, i)
+			continue
+		}
+		slot[key] = len(units)
+		units = append(units, workUnit{indices: []int{i}})
+	}
+	return units
+}
+
+// runGroup executes one fork group: members already cached are served as
+// ordinary hits, members led elsewhere (a concurrent identical job holds
+// the flight) fall back to the solo path, and everything else runs as ONE
+// shared soc.RunForked session whose per-member snapshots are stored
+// under the members' individual cache keys. Results land in out at each
+// member's plan position.
+func (e *Engine) runGroup(ctx context.Context, jobs []Job, indices []int, out []JobResult) {
+	type liveMember struct {
+		i      int
+		key    string
+		flight *flight
+	}
+	var live []liveMember
+	var fallback []int
+	for _, i := range indices {
+		job := jobs[i]
+		if err := ctx.Err(); err != nil {
+			e.canceled.Add(1)
+			out[i] = JobResult{Job: job, Err: err}
+			continue
+		}
+		key, err := jobKey(job)
+		if err != nil {
+			e.errs.Add(1)
+			out[i] = JobResult{Job: job, Err: err}
+			continue
+		}
+		out[i] = JobResult{Job: job, Key: key}
+		// Same probe protocol as runJob: a cheap local-tier look first, a
+		// full (remote-included) probe only for flight leaders — a group
+		// of N members then costs at most N remote round-trips, exactly
+		// like N solo leaders, not N per-member probes.
+		if rec, ok := e.probe(key, true); ok {
+			if r, derr := rec.Result(); derr == nil {
+				e.hits.Add(1)
+				out[i].Result, out[i].Record, out[i].CacheHit = r, rec, true
+				continue
+			}
+		}
+		f, leader := e.flights.join(key)
+		if !leader {
+			fallback = append(fallback, i)
+			continue
+		}
+		if rec, ok := e.probe(key, false); ok {
+			if r, derr := rec.Result(); derr == nil {
+				e.flights.finish(key, f, r, rec, nil)
+				e.hits.Add(1)
+				out[i].Result, out[i].Record, out[i].CacheHit = r, rec, true
+				continue
+			}
+		}
+		live = append(live, liveMember{i: i, key: key, flight: f})
+	}
+
+	if len(live) > 0 {
+		members := make([]soc.ForkMember, len(live))
+		for j, m := range live {
+			members[j] = soc.ForkMember{
+				Horizon:  jobs[m.i].Config.Horizon,
+				StopWhen: jobs[m.i].Options.StopWhen,
+			}
+		}
+		e.misses.Add(int64(len(live)))
+		e.runs.Add(1)
+		t0 := time.Now()
+		rs, err := soc.RunForked(ctx, jobs[live[0].i].Config, members)
+		e.runLat.RecordDuration(time.Since(t0))
+		if err != nil {
+			for _, m := range live {
+				e.countFailure(err)
+				e.flights.finish(m.key, m.flight, nil, nil, err)
+				out[m.i].Err = err
+			}
+		} else {
+			e.forked.Add(int64(len(live) - 1))
+			for j, m := range live {
+				r := rs[j]
+				var rec *Record
+				if rec, _ = NewRecord(m.key, r); rec != nil {
+					_ = e.cache.Put(m.key, rec)
+				}
+				e.flights.finish(m.key, m.flight, r, rec, nil)
+				out[m.i].Result, out[m.i].Record = r, rec
+			}
+		}
+	}
+
+	// Members whose flight is led by a concurrent identical job take the
+	// ordinary path: wait on that flight, or hit whatever the cache holds
+	// by now.
+	for _, i := range fallback {
+		out[i] = e.runJob(ctx, jobs[i])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -103,6 +104,12 @@ type Tournament struct {
 	// Deadline is the per-task service-time budget for the deadline-miss
 	// column (0 disables the column).
 	Deadline sim.Time
+	// Progress, when non-nil, observes every finished job: done/total are
+	// plan-cell counts and leader is the provisional leaderboard head —
+	// the policy with the lowest mean energy over the replicates finished
+	// so far ("" until the first success). Calls are serialised by the
+	// engine; keep the callback cheap (it runs on a worker's path).
+	Progress func(done, total int, leader string)
 }
 
 // Validate checks the tournament is runnable.
@@ -235,7 +242,7 @@ func RunTournament(ctx context.Context, eng *Engine, t Tournament) (*TournamentR
 	if err != nil {
 		return nil, err
 	}
-	results, runErr := eng.Run(ctx, plan)
+	results, runErr := eng.RunObserved(ctx, plan, t.progressObserver(plan.Len()))
 
 	nPol, nSeed := len(t.Policies), len(t.Seeds)
 	baseName := t.baseline()
@@ -339,6 +346,39 @@ func RunTournament(ctx context.Context, eng *Engine, t Tournament) (*TournamentR
 	// sketch stays out of the snapshot (servers surface it via /statsz).
 	res.Stats.RunLatency = nil
 	return res, runErr
+}
+
+// progressObserver adapts Progress into an engine result observer,
+// tracking the provisional energy leader incrementally. Plans are laid
+// out scenario-major, seed, policy, so a job's policy is its plan index
+// modulo the policy count. Returns nil when no Progress is registered.
+func (t Tournament) progressObserver(total int) func(i int, jr JobResult) {
+	if t.Progress == nil {
+		return nil
+	}
+	nPol := len(t.Policies)
+	sums := make([]float64, nPol)
+	counts := make([]int, nPol)
+	done := 0
+	return func(i int, jr JobResult) {
+		done++
+		if jr.Err == nil && jr.Result != nil {
+			pi := i % nPol
+			sums[pi] += jr.Result.EnergyJ
+			counts[pi]++
+		}
+		leader := ""
+		best := math.Inf(1)
+		for pi, p := range t.Policies {
+			if counts[pi] == 0 {
+				continue
+			}
+			if m := sums[pi] / float64(counts[pi]); m < best {
+				best, leader = m, p.Name
+			}
+		}
+		t.Progress(done, total, leader)
+	}
 }
 
 // policyAccum collects one policy's runs across all scenarios × seeds.

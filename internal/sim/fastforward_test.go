@@ -1,0 +1,189 @@
+package sim
+
+import "testing"
+
+// The idle fast-forward (GapPeriodic) is a scheduling shortcut, not a new
+// semantics: while the periodic subscriber's tick is the only live timed
+// notification, the kernel calls its catch-up body in a tight loop instead
+// of round-tripping the heap per instant. These tests pin the contract at
+// kernel level: the trajectory is bit-identical to a ticked run, and the
+// skip path itself never allocates.
+
+// gapModel is a sampler plus a bursty disturber, small enough to run twice
+// (ticked and fast-forwarded) and compare trajectories exactly.
+type gapModel struct {
+	k    *Kernel
+	tick *Event
+
+	// Sampler trajectory: loadSum and tSum checksum the value and the
+	// instant of every sample, count the number of samples.
+	loadSum int64
+	tSum    int64
+	count   int64
+
+	// The disturber toggles load at irregular instants, creating both
+	// quiescent gaps (fast-forwardable) and shared instants (not).
+	load  *Signal[int64]
+	burst int
+}
+
+// burstDelays are the disturber's re-notification intervals: long gaps the
+// sampler alone owns, one interval that is an exact multiple of the tick
+// (the disturber then lands ON a sample instant — the tie case), and one
+// short interval below the tick period.
+var burstDelays = []Time{1730 * Ns, 500 * Ns, 4000 * Ns, 7 * Ns, 2641 * Ns, 990 * Ns}
+
+const gapTick = 10 * Ns
+
+// newGapModel wires the model; fastForward opts the sampler into
+// GapPeriodic. The method body and the catch-up body share sample() —
+// the catch-up body is the method minus the self re-notification, exactly
+// the GapPeriodic contract.
+func newGapModel(fastForward bool) *gapModel {
+	m := &gapModel{k: NewKernel()}
+	m.tick = m.k.NewEvent("tick")
+	m.load = NewSignal[int64](m.k, "load", 0)
+	m.k.Method("sampler", func() {
+		m.sample()
+		m.tick.Notify(gapTick)
+	}).Sensitive(m.tick).DontInitialize()
+	if fastForward {
+		m.k.GapPeriodic(m.tick, gapTick, m.sample)
+	}
+	m.tick.Notify(gapTick)
+
+	burstEv := m.k.NewEvent("burst")
+	m.k.Method("disturber", func() {
+		m.load.Write(m.load.Read() + 1)
+		burstEv.Notify(burstDelays[m.burst%len(burstDelays)])
+		m.burst++
+	}).Sensitive(burstEv).DontInitialize()
+	burstEv.Notify(burstDelays[0])
+	return m
+}
+
+func (m *gapModel) sample() {
+	m.loadSum += m.load.Read()
+	m.tSum += int64(m.k.Now())
+	m.count++
+}
+
+// TestGapFastForwardBitIdentical runs the model ticked and fast-forwarded
+// to the same horizon and asserts the full trajectory checksum matches:
+// same samples at the same instants reading the same values, same
+// delta-cycle count (the scheduling checksum), same final time. Only the
+// fast-forwarded kernel may report skipped instants.
+func TestGapFastForwardBitIdentical(t *testing.T) {
+	const until = 200 * Us // ~20k samples, ~60 bursts
+	ticked, fast := newGapModel(false), newGapModel(true)
+	if err := ticked.k.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.k.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	if ticked.count != fast.count || ticked.loadSum != fast.loadSum || ticked.tSum != fast.tSum {
+		t.Errorf("trajectories diverge:\n  ticked count=%d loadSum=%d tSum=%d\n  fast   count=%d loadSum=%d tSum=%d",
+			ticked.count, ticked.loadSum, ticked.tSum, fast.count, fast.loadSum, fast.tSum)
+	}
+	if ticked.k.DeltaCount() != fast.k.DeltaCount() {
+		t.Errorf("delta counts diverge: ticked %d, fast %d", ticked.k.DeltaCount(), fast.k.DeltaCount())
+	}
+	if ticked.k.Now() != fast.k.Now() {
+		t.Errorf("final times diverge: ticked %s, fast %s", ticked.k.Now(), fast.k.Now())
+	}
+	if got := ticked.k.FastForwardedInstants(); got != 0 {
+		t.Errorf("ticked kernel fast-forwarded %d instants, want 0", got)
+	}
+	if fast.k.FastForwardedInstants() == 0 {
+		t.Error("fast kernel never fast-forwarded despite idle gaps")
+	}
+	// Continuing past the horizon must stay aligned too: the fast kernel's
+	// re-notification state after a gap matches a ticked run's heap.
+	if err := ticked.k.Run(until + 50*Us); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.k.Run(until + 50*Us); err != nil {
+		t.Fatal(err)
+	}
+	if ticked.count != fast.count || ticked.tSum != fast.tSum || ticked.k.DeltaCount() != fast.k.DeltaCount() {
+		t.Errorf("trajectories diverge after resume: ticked count=%d tSum=%d deltas=%d, fast count=%d tSum=%d deltas=%d",
+			ticked.count, ticked.tSum, ticked.k.DeltaCount(), fast.count, fast.tSum, fast.k.DeltaCount())
+	}
+}
+
+// TestGapFastForwardAllocFree pins the skip path at zero allocations: a
+// kernel whose only activity is the gap subscriber must cross arbitrarily
+// long idle stretches without touching the heap.
+func TestGapFastForwardAllocFree(t *testing.T) {
+	k := NewKernel()
+	tick := k.NewEvent("tick")
+	steady := NewSignal[int](k, "steady", 1)
+	count := 0
+	body := func() {
+		count++
+		steady.Write(1) // unchanged re-write: must not schedule an update
+	}
+	k.Method("sampler", func() {
+		body()
+		tick.Notify(gapTick)
+	}).Sensitive(tick).DontInitialize()
+	k.GapPeriodic(tick, gapTick, body)
+	tick.Notify(gapTick)
+
+	before := k.FastForwardedInstants()
+	measure(t, "gap fast-forward", func() {
+		if err := k.Run(k.Now() + 1000*gapTick); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if count == 0 {
+		t.Fatal("sampler never ran")
+	}
+	if k.FastForwardedInstants() <= before {
+		t.Fatalf("no instants were fast-forwarded (got %d)", k.FastForwardedInstants())
+	}
+}
+
+// TestQuiescentUntil pins the diagnostic: with only the gap tick pending
+// the kernel is quiescent forever; another live notification bounds it.
+func TestQuiescentUntil(t *testing.T) {
+	k := NewKernel()
+	tick := k.NewEvent("tick")
+	k.Method("sampler", func() { tick.Notify(gapTick) }).Sensitive(tick).DontInitialize()
+	k.GapPeriodic(tick, gapTick, func() {})
+	tick.Notify(gapTick)
+	if got := k.QuiescentUntil(); got != MaxTime {
+		t.Errorf("QuiescentUntil with only the gap tick = %s, want MaxTime", got)
+	}
+	other := k.NewEvent("other")
+	k.Method("m", func() {}).Sensitive(other).DontInitialize()
+	other.Notify(5 * Us)
+	if got := k.QuiescentUntil(); got != 5*Us {
+		t.Errorf("QuiescentUntil = %s, want %s", got, 5*Us)
+	}
+	other.Cancel()
+	if got := k.QuiescentUntil(); got != MaxTime {
+		t.Errorf("QuiescentUntil after cancel = %s, want MaxTime", got)
+	}
+}
+
+// TestGapPeriodicValidation pins the registration guards.
+func TestGapPeriodicValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	k := NewKernel()
+	ev := k.NewEvent("tick")
+	mustPanic("nil event", func() { k.GapPeriodic(nil, gapTick, func() {}) })
+	mustPanic("zero interval", func() { k.GapPeriodic(ev, 0, func() {}) })
+	mustPanic("nil body", func() { k.GapPeriodic(ev, gapTick, nil) })
+	k.GapPeriodic(ev, gapTick, func() {})
+	mustPanic("double registration", func() { k.GapPeriodic(ev, gapTick, func() {}) })
+}

@@ -45,6 +45,21 @@ type Kernel struct {
 	// onUpdate hooks run after each update phase; the trace package uses
 	// them to sample changed signals.
 	onUpdate []func(Time)
+
+	// gap is the registered idle fast-forward subscriber (GapPeriodic);
+	// ffInstants counts the instants executed through the gap path.
+	gap        gapSub
+	ffInstants uint64
+}
+
+// gapSub is a periodic process that opted into idle fast-forward: while its
+// tick event is the only live timed notification, the kernel calls body at
+// interval steps directly instead of going through the heap/fire/eval
+// machinery for every empty instant.
+type gapSub struct {
+	ev       *Event
+	interval Time
+	body     func()
 }
 
 // updater is implemented by signals: apply the pending write and notify the
@@ -94,6 +109,48 @@ func (k *Kernel) Thread(name string, fn func(*Ctx)) *Proc {
 // cycle; Run returns normally.
 func (k *Kernel) Stop() { k.stopRequested = true }
 
+// GapPeriodic opts a periodic method process into idle fast-forward. The
+// registered event must re-notify itself every `interval` from its own
+// method body, have that method as its only subscriber, and no dynamic
+// waiters. Whenever the event is the sole live timed notification at an
+// instant — no process runnable, no delta pending, nothing else scheduled
+// at or before it — the kernel stops round-tripping through the heap and
+// instead calls body at interval steps in a tight loop (the "gap"),
+// applying signal updates inline after each call. The loop exits, exactly
+// reproducing the ticked phase order, as soon as a call makes a process
+// runnable, queues a delta, schedules a timed notification, requests a
+// stop, or the next step would reach another live notification or the run
+// horizon; on exit the event is re-notified at interval so the heap state
+// matches a ticked run's.
+//
+// body must perform the same work as the event's method except the
+// self re-notification (which the kernel takes over during the gap).
+// Results are then bit-identical to a ticked run: the same calls happen at
+// the same instants in the same order — only the per-instant scheduling
+// machinery is skipped. At most one subscriber can register.
+func (k *Kernel) GapPeriodic(ev *Event, interval Time, body func()) {
+	if k.gap.ev != nil {
+		panic("sim: GapPeriodic registered twice")
+	}
+	if ev == nil || interval <= 0 || body == nil {
+		panic("sim: GapPeriodic needs an event, a positive interval and a body")
+	}
+	k.gap = gapSub{ev: ev, interval: interval, body: body}
+}
+
+// FastForwardedInstants returns how many instants were executed through
+// the gap fast-forward path (0 when no GapPeriodic subscriber is
+// registered or the model never went quiescent).
+func (k *Kernel) FastForwardedInstants() uint64 { return k.ffInstants }
+
+// QuiescentUntil returns the earliest live timed notification other than
+// the gap subscriber's tick — the horizon up to which the kernel can prove
+// nothing but the periodic subscriber will run — and MaxTime when no such
+// notification is pending. Diagnostic; O(n) over the timed queue.
+func (k *Kernel) QuiescentUntil() Time {
+	return k.timed.minLiveExcept(k.gap.ev)
+}
+
 // ErrDeltaLivelock is returned by Run when one simulated instant exceeds
 // MaxDeltasPerInstant delta cycles.
 var ErrDeltaLivelock = errors.New("sim: delta-cycle livelock detected")
@@ -119,9 +176,14 @@ func (k *Kernel) Run(until Time) error {
 	}
 
 	deltasThisInstant := 0
+	// skipEval makes one iteration resume at the update phase: the gap
+	// fast-forward sets it when a catch-up body left processes runnable, so
+	// the pending updates and deltas of that instant are processed before
+	// those processes run — exactly the ticked phase order.
+	skipEval := false
 	for {
 		// Evaluation phase.
-		if len(k.runnable) > 0 {
+		if len(k.runnable) > 0 && !skipEval {
 			run := k.runnable
 			k.runnable = k.runSpare[:0]
 			for _, p := range run {
@@ -139,18 +201,11 @@ func (k *Kernel) Run(until Time) error {
 			}
 			k.runSpare = run[:0]
 		}
+		skipEval = false
 
 		// Update phase.
 		if len(k.updates) > 0 {
-			ups := k.updates
-			k.updates = k.updSpare[:0]
-			for _, u := range ups {
-				u.applyUpdate()
-			}
-			for _, h := range k.onUpdate {
-				h(k.now)
-			}
-			k.updSpare = ups[:0]
+			k.applyUpdates()
 		}
 
 		// Delta-notification phase.
@@ -199,18 +254,89 @@ func (k *Kernel) Run(until Time) error {
 		}
 		k.now = nextAt
 		deltasThisInstant = 0
+		first := k.timed.popTop().ev
+		// Clear the pending notification *before* fire: the entry has
+		// already left the heap, so fire must not count it stale.
+		first.pendingAt = pendingNone
+		if first == k.gap.ev && k.gap.body != nil {
+			if t2, live := k.timed.nextTime(); !live || t2 > nextAt {
+				// The gap subscriber owns this instant exclusively: run the
+				// idle fast-forward instead of firing through the heap.
+				skipEval = k.fastForward(t2, live, until)
+				continue
+			}
+		}
+		first.fire()
 		for {
-			ev := k.timed.popTop().ev
-			// Clear the pending notification *before* fire: the entry has
-			// already left the heap, so fire must not count it stale.
-			ev.pendingAt = pendingNone
-			ev.fire()
 			at, ok := k.timed.nextTime()
 			if !ok || at != nextAt {
 				break
 			}
+			ev := k.timed.popTop().ev
+			ev.pendingAt = pendingNone
+			ev.fire()
 		}
 	}
+}
+
+// fastForward executes the gap subscriber's catch-up body at interval
+// steps starting at the current instant, strictly before the next other
+// live notification (`t2` when live) and never past `until`. The
+// subscriber's pending notification has already been popped; on every
+// exit path the event is re-notified at interval, restoring the heap
+// state a ticked run would have. It returns true when the breaking body
+// call left processes runnable, in which case the caller must resume at
+// the update phase so the instant's phases complete in ticked order.
+//
+// The loop is the skip-path the 0-alloc test pins: per instant it is one
+// indirect call, the inline update phase and a handful of compares.
+func (k *Kernel) fastForward(t2 Time, live bool, until Time) (skipEval bool) {
+	g := &k.gap
+	seq0 := k.timed.seqCount()
+	for {
+		g.body()
+		k.ffInstants++
+		if len(k.runnable) > 0 || k.stopRequested || k.timed.seqCount() != seq0 ||
+			len(k.deltaQueue) > 0 {
+			// The body did more than write signals: leave its updates
+			// unapplied and let the main loop run the update/delta/stop
+			// phases of this instant (eval is skipped when something is
+			// runnable, so phase order matches a ticked instant).
+			skipEval = len(k.runnable) > 0
+			break
+		}
+		if len(k.updates) > 0 {
+			k.applyUpdates()
+			if len(k.deltaQueue) > 0 {
+				// A signal actually changed value: fire its delta through
+				// the main loop (eval and update are empty, so resuming at
+				// the top is the ticked order).
+				break
+			}
+		}
+		next := k.now + g.interval
+		if next > until || (live && next >= t2) {
+			// The next step is no longer exclusively ours.
+			break
+		}
+		k.now = next
+	}
+	g.ev.Notify(g.interval)
+	return skipEval
+}
+
+// applyUpdates drains the update queue — the update phase, shared by the
+// main loop and the gap fast-forward so both apply writes identically.
+func (k *Kernel) applyUpdates() {
+	ups := k.updates
+	k.updates = k.updSpare[:0]
+	for _, u := range ups {
+		u.applyUpdate()
+	}
+	for _, h := range k.onUpdate {
+		h(k.now)
+	}
+	k.updSpare = ups[:0]
 }
 
 // makeRunnable queues p for the current/next evaluation phase, once.

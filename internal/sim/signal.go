@@ -32,9 +32,15 @@ func (s *Signal[T]) Read() T { return s.cur }
 
 // Write schedules v to become the signal value in the update phase of the
 // current delta cycle. Writing the current value is a no-op for sensitivity
-// (no change event fires).
+// (no change event fires) — and, with no update already pending, schedules
+// nothing at all: applying it would compare-and-return, so skipping the
+// queue round-trip is unobservable (same value, no change event, no delta)
+// and keeps periodic re-writes of a steady value off the update phase.
 func (s *Signal[T]) Write(v T) {
 	if !s.hasNext {
+		if v == s.cur {
+			return
+		}
 		s.hasNext = true
 		s.k.scheduleUpdate(s)
 	}

@@ -37,7 +37,15 @@ type accountant struct {
 	gemReeval bool
 
 	interval sim.Time
-	tick     *sim.Event
+	// intervalSecs caches interval.Seconds(): the per-tick dt is almost
+	// always exactly one interval, and reusing the converted value saves
+	// three float divisions per sample without changing a bit (the same
+	// operation on the same input yields the same value).
+	intervalSecs float64
+	tick         *sim.Event
+	// noFastForward skips the GapPeriodic registration, forcing per-tick
+	// scheduling (RunOptions.NoFastForward).
+	noFastForward bool
 
 	temp   stats.TimeWeighted // streaming time-weighted die temperature
 	lastE  float64            // total energy at the previous sample
@@ -53,6 +61,19 @@ type accountant struct {
 	probe      Probe           // reused every evaluation; no allocation
 	stopReason string          // Reason of the condition that fired
 	canceled   bool            // ctx was cancelled mid-run
+
+	// watches are the forked-run stop sets (see RunForked): each watch is
+	// one fork member's StopWhen list, evaluated every tick against the
+	// shared trajectory. A watch that fires stops the kernel — like a solo
+	// stop — but the session then snapshots just that member and resumes
+	// for the rest. nil for solo runs, so the hot path pays one branch.
+	watches []*forkWatch
+}
+
+// forkWatch tracks one fork member's stop conditions on a shared session.
+type forkWatch struct {
+	conds []StopCondition
+	fired string // Reason of the first matching condition; "" while live
 }
 
 // newAccountant wires an accountant for the assembled SoC. It seeds the
@@ -63,12 +84,13 @@ func newAccountant(k *sim.Kernel, cfg *Config, pack *battery.Pack, plant *therma
 	a := &accountant{
 		k: k, pack: pack, plant: plant,
 		meters: meters, busEnergy: busEnergy,
-		reg:      cfg.Regulator,
-		railV:    cfg.IPs[0].Profile.On[0].Vdd,
-		g:        g,
-		interval: cfg.SampleInterval,
-		lastEs:   make([]float64, len(meters)),
-		perIP:    make([]float64, len(meters)),
+		reg:          cfg.Regulator,
+		railV:        cfg.IPs[0].Profile.On[0].Vdd,
+		g:            g,
+		interval:     cfg.SampleInterval,
+		intervalSecs: cfg.SampleInterval.Seconds(),
+		lastEs:       make([]float64, len(meters)),
+		perIP:        make([]float64, len(meters)),
 	}
 	a.gemReeval = g != nil && cfg.GEM.BusOccupancyLimit > 0
 	a.temp.Add(0, cfg.InitialTempC)
@@ -76,6 +98,16 @@ func newAccountant(k *sim.Kernel, cfg *Config, pack *battery.Pack, plant *therma
 }
 
 // start registers the tick method and schedules the first sample.
+//
+// The accountant also opts its tick into the kernel's idle fast-forward:
+// whenever the tick is the only live timed notification — no process
+// runnable, no delta pending, nothing else scheduled — the kernel calls
+// the catch-up body (the method minus the self re-notification) at
+// interval steps directly, skipping the heap/fire/eval machinery per
+// instant. The same sample arithmetic runs at the same instants, so
+// results are bit-identical to ticked execution; runs with observers
+// never fast-forward because the observer sampler's tick shares every
+// sample instant, which keeps Observer.Sample firing per tick.
 func (a *accountant) start() {
 	a.tick = a.k.NewEvent("accountant.tick")
 	a.k.Method("accountant", func() {
@@ -83,6 +115,12 @@ func (a *accountant) start() {
 		a.checkStop()
 		a.tick.Notify(a.interval)
 	}).Sensitive(a.tick).DontInitialize()
+	if !a.noFastForward {
+		a.k.GapPeriodic(a.tick, a.interval, func() {
+			a.sample()
+			a.checkStop()
+		})
+	}
 	a.tick.Notify(a.interval)
 }
 
@@ -103,20 +141,55 @@ func (a *accountant) checkStop() {
 		default:
 		}
 	}
+	if len(a.watches) > 0 {
+		a.checkWatches()
+	}
 	if len(a.stops) == 0 {
 		return
 	}
-	a.probe.Now = a.k.Now()
-	a.probe.TempC = a.plant.tempC()
-	a.probe.SoC = a.pack.SoC()
-	a.probe.Battery = a.pack.Status()
-	a.probe.EnergyJ = a.lastE
+	a.fillProbe()
 	for i := range a.stops {
 		if a.stops[i].Eval(&a.probe) {
 			a.stopReason = a.stops[i].Reason
 			a.k.Stop()
 			return
 		}
+	}
+}
+
+// fillProbe refreshes the reusable probe from the just-integrated state.
+func (a *accountant) fillProbe() {
+	a.probe.Now = a.k.Now()
+	a.probe.TempC = a.plant.tempC()
+	a.probe.SoC = a.pack.SoC()
+	a.probe.Battery = a.pack.Status()
+	a.probe.EnergyJ = a.lastE
+}
+
+// checkWatches evaluates every live fork watch. Unlike the solo list it
+// does not short-circuit: every member whose condition holds at this
+// instant fires now, exactly as each member's solo run would have, even
+// when several members cross in the same tick. Any firing stops the
+// kernel so the session can snapshot the fired members and resume.
+// Evaluation is pure (conditions only read the probe), so watching extra
+// members never changes the shared trajectory.
+func (a *accountant) checkWatches() {
+	a.fillProbe()
+	fired := false
+	for _, w := range a.watches {
+		if w.fired != "" {
+			continue
+		}
+		for i := range w.conds {
+			if w.conds[i].Eval(&a.probe) {
+				w.fired = w.conds[i].Reason
+				fired = true
+				break
+			}
+		}
+	}
+	if fired {
+		a.k.Stop()
 	}
 }
 
@@ -147,13 +220,22 @@ func (a *accountant) sample() {
 	if dt <= 0 {
 		return
 	}
-	e := a.totalEnergy()
-	pAvg := (e - a.lastE) / dt.Seconds()
+	secs := a.intervalSecs
+	if dt != a.interval {
+		secs = dt.Seconds()
+	}
+	// One pass over the meters computes the total and the per-IP split:
+	// the summation order (bus first, then meters in slice order) is the
+	// same as totalEnergy's, so the result is bit-identical to the old
+	// two-pass version while settling each meter once instead of twice.
+	e := *a.busEnergy
 	for i, m := range a.meters {
 		me := m.EnergyJ()
-		a.perIP[i] = (me - a.lastEs[i]) / dt.Seconds()
+		e += me
+		a.perIP[i] = (me - a.lastEs[i]) / secs
 		a.lastEs[i] = me
 	}
+	pAvg := (e - a.lastE) / secs
 	a.pack.Step(a.batteryDraw(pAvg), dt)
 	a.plant.step(pAvg, a.perIP, dt)
 	a.lastE = e

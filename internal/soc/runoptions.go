@@ -22,6 +22,15 @@ type RunOptions struct {
 	// Conditions are evaluated once per SampleInterval, after the battery
 	// and thermal state have been integrated.
 	StopWhen []StopCondition
+
+	// NoFastForward disables the kernel's idle fast-forward, forcing the
+	// per-tick scheduling machinery over idle gaps. Fast-forward is
+	// provably bit-identical to ticked execution (the same sample
+	// arithmetic runs at the same instants — see sim.Kernel.GapPeriodic),
+	// so this knob exists for verification (the equivalence property
+	// tests) and benchmarking (measuring the machinery it skips), not for
+	// correctness; it is deliberately not part of the engine cache key.
+	NoFastForward bool
 }
 
 // Volatile reports whether any stop condition depends on host timing, in

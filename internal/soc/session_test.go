@@ -1,0 +1,174 @@
+package soc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"godpm/internal/sim"
+)
+
+// compareForkMember asserts that a forked member's Result is bit-identical
+// to the solo run of the same configuration (WallSeconds excepted — it is
+// host timing — and Ledger compared by length).
+func compareForkMember(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.EnergyJ != want.EnergyJ {
+		t.Errorf("%s: EnergyJ %v != solo %v", label, got.EnergyJ, want.EnergyJ)
+	}
+	if got.BusEnergyJ != want.BusEnergyJ {
+		t.Errorf("%s: BusEnergyJ %v != solo %v", label, got.BusEnergyJ, want.BusEnergyJ)
+	}
+	if got.AvgTempC != want.AvgTempC {
+		t.Errorf("%s: AvgTempC %v != solo %v", label, got.AvgTempC, want.AvgTempC)
+	}
+	if got.PeakTempC != want.PeakTempC {
+		t.Errorf("%s: PeakTempC %v != solo %v", label, got.PeakTempC, want.PeakTempC)
+	}
+	if got.Duration != want.Duration {
+		t.Errorf("%s: Duration %v != solo %v", label, got.Duration, want.Duration)
+	}
+	if got.Deltas != want.Deltas {
+		t.Errorf("%s: Deltas %d != solo %d", label, got.Deltas, want.Deltas)
+	}
+	if got.TasksDone != want.TasksDone {
+		t.Errorf("%s: TasksDone %d != solo %d", label, got.TasksDone, want.TasksDone)
+	}
+	if got.FinalSoC != want.FinalSoC {
+		t.Errorf("%s: FinalSoC %v != solo %v", label, got.FinalSoC, want.FinalSoC)
+	}
+	if got.FinalBatteryStatus != want.FinalBatteryStatus {
+		t.Errorf("%s: FinalBatteryStatus %v != solo %v", label, got.FinalBatteryStatus, want.FinalBatteryStatus)
+	}
+	if got.Completed != want.Completed {
+		t.Errorf("%s: Completed %v != solo %v", label, got.Completed, want.Completed)
+	}
+	if got.StopReason != want.StopReason {
+		t.Errorf("%s: StopReason %q != solo %q", label, got.StopReason, want.StopReason)
+	}
+	if got.Ledger.Len() != want.Ledger.Len() {
+		t.Errorf("%s: ledger %d records != solo %d", label, got.Ledger.Len(), want.Ledger.Len())
+	}
+	for name, e := range want.EnergyByIP {
+		if got.EnergyByIP[name] != e {
+			t.Errorf("%s: EnergyByIP[%s] %v != solo %v", label, name, got.EnergyByIP[name], e)
+		}
+	}
+	for name, ls := range want.LEMStats {
+		gs, ok := got.LEMStats[name]
+		if !ok {
+			t.Errorf("%s: missing LEMStats[%s]", label, name)
+			continue
+		}
+		if gs.ParkEvents != ls.ParkEvents || gs.ParkedTime != ls.ParkedTime ||
+			len(gs.OnDecisions) != len(ls.OnDecisions) || len(gs.SleepEntries) != len(ls.SleepEntries) {
+			t.Errorf("%s: LEMStats[%s] %+v != solo %+v", label, name, gs, ls)
+		}
+	}
+	if got.BusOccupancy != want.BusOccupancy {
+		t.Errorf("%s: BusOccupancy %v != solo %v", label, got.BusOccupancy, want.BusOccupancy)
+	}
+}
+
+// TestRunForkedMatchesSoloHorizons pins the sweep warm-start's central
+// contract: members that differ only in horizon, simulated off one shared
+// trajectory, produce bit-identical Results to solo runs — including cuts
+// that fall mid-sample-interval (partial final integration on copies) and
+// a member that runs past workload completion.
+func TestRunForkedMatchesSoloHorizons(t *testing.T) {
+	cfg := smallConfig(PolicyDPM, 40)
+
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Completed {
+		t.Fatal("reference run did not complete")
+	}
+
+	// Cut one member mid-interval, one at a tick boundary, one past
+	// completion (default horizon).
+	h1 := full.Duration/3 + 37*sim.Us
+	h2 := (full.Duration / 2 / (100 * sim.Us)) * (100 * sim.Us)
+	members := []ForkMember{{Horizon: h1}, {Horizon: h2}, {}}
+
+	forked, err := RunForked(context.Background(), cfg, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forked) != len(members) {
+		t.Fatalf("got %d results for %d members", len(forked), len(members))
+	}
+
+	for i, m := range members {
+		soloCfg := cfg
+		soloCfg.Horizon = m.Horizon
+		solo, err := Run(soloCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareForkMember(t, sim.Time(i).String(), forked[i], solo)
+	}
+	if !forked[2].Completed || forked[2].Duration != full.Duration {
+		t.Fatalf("past-completion member: Completed=%v Duration=%v want %v",
+			forked[2].Completed, forked[2].Duration, full.Duration)
+	}
+}
+
+// TestRunForkedMatchesSoloStops runs members whose cuts are stop
+// conditions rather than horizons — including two members whose
+// thresholds cross in the same tick and one whose condition never fires —
+// and pins them bit-identical to solo runs with the same StopWhen.
+func TestRunForkedMatchesSoloStops(t *testing.T) {
+	cfg := smallConfig(PolicyAlwaysOn, 60)
+
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := full.EnergyJ / 2
+	members := []ForkMember{
+		{StopWhen: []StopCondition{StopOnEnergyBudget(budget)}},
+		{StopWhen: []StopCondition{StopOnEnergyBudget(budget * 1.000001)}},
+		{StopWhen: []StopCondition{StopOnEnergyBudget(full.EnergyJ * 10)}},
+	}
+
+	forked, err := RunForked(context.Background(), cfg, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		solo, err := RunWith(context.Background(), cfg, RunOptions{StopWhen: m.StopWhen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareForkMember(t, m.StopWhen[0].Reason, forked[i], solo)
+		_ = i
+	}
+	if forked[0].StopReason == "" {
+		t.Fatal("budget member did not stop early")
+	}
+	if forked[2].StopReason != "" || !forked[2].Completed {
+		t.Fatalf("unreachable-budget member: StopReason=%q Completed=%v",
+			forked[2].StopReason, forked[2].Completed)
+	}
+}
+
+// TestRunForkedRejects checks the documented non-forkable inputs.
+func TestRunForkedRejects(t *testing.T) {
+	cfg := smallConfig(PolicyDPM, 5)
+	if _, err := RunForked(context.Background(), cfg, nil); err == nil {
+		t.Error("no members: want error")
+	}
+	if _, err := RunForked(context.Background(), cfg,
+		[]ForkMember{{StopWhen: []StopCondition{StopOnWallClock(time.Hour)}}}); err == nil {
+		t.Error("volatile stop condition: want error")
+	}
+	gcfg := smallConfig(PolicyDPM, 5)
+	gcfg.UseGEM = true
+	gcfg.GEM.HighPriorityCutoff = 1
+	gcfg.GEM.BusOccupancyLimit = 0.5
+	if _, err := RunForked(context.Background(), gcfg, []ForkMember{{}}); err == nil {
+		t.Error("bus-occupancy GEM polling: want error")
+	}
+}

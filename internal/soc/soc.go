@@ -14,7 +14,6 @@ import (
 	"godpm/internal/battery"
 	"godpm/internal/bus"
 	"godpm/internal/gem"
-	"godpm/internal/ip"
 	"godpm/internal/lem"
 	"godpm/internal/power"
 	"godpm/internal/rules"
@@ -444,178 +443,45 @@ func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	k := sim.NewKernel()
-	defer k.Shutdown()
-
-	model, err := cfg.Battery.build()
+	s, err := newSession(ctx, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
-	pack := battery.NewPack(k, "battery", model, battery.DefaultThresholds(), cfg.Battery.Mains)
-	ipNames := make([]string, len(cfg.IPs))
-	for i := range cfg.IPs {
-		ipNames[i] = cfg.IPs[i].Name
-	}
-	plant := buildThermalPlant(k, &cfg, ipNames)
+	defer s.k.Shutdown()
 
-	var theBus *bus.Bus
-	busEnergyMeter := 0.0
-	if cfg.BusWords > 0 {
-		theBus = bus.New(k, "bus", cfg.Bus)
-		theBus.OnEnergy(func(j float64) { busEnergyMeter += j })
-	}
-
-	ledger := &stats.Ledger{}
-	meters := make([]*stats.EnergyMeter, len(cfg.IPs))
-	psms := make([]*acpi.PSM, len(cfg.IPs))
-	lems := make(map[string]*lem.LEM, len(cfg.IPs))
-	ips := make([]*ip.IP, len(cfg.IPs))
-
-	var g *gem.GEM
-	if cfg.UseGEM {
-		g = gem.New(k, "gem", cfg.GEM, pack, plant.gemView())
-	}
-
-	var disp *dispatcher
-	if len(opts.Observers) > 0 {
-		disp = &dispatcher{obs: opts.Observers, meters: meters}
-	}
-
-	for i, spec := range cfg.IPs {
-		meters[i] = stats.NewEnergyMeter(k, spec.Name)
-		psms[i] = acpi.NewPSM(k, spec.Name, spec.Profile, spec.InitialState)
-
-		var mgr ip.Manager
-		switch cfg.Policy {
-		case PolicyDPM:
-			l := lem.New(k, spec.Name+".lem", psms[i], pack, plant.lemSource(i), cfg.LEM.makeConfig())
-			if g != nil {
-				meter := meters[i]
-				id, err := g.Register(spec.Name, spec.StaticPriority, meter.Power)
-				if err != nil {
-					return nil, err
-				}
-				l.AttachGEM(g, id)
-			}
-			lems[spec.Name] = l
-			mgr = l
-		case PolicyAlwaysOn:
-			mgr = policyAlwaysOn(psms[i])
-		case PolicyTimeout:
-			mgr = policyTimeout(k, psms[i], cfg.Timeout, cfg.TimeoutSleepState)
-		case PolicyGreedy:
-			mgr = policyGreedy(psms[i], cfg.GreedySleepState)
-		case PolicyOracle:
-			mgr = policyOracle(psms[i])
-		default:
-			return nil, fmt.Errorf("soc: unknown policy %q", cfg.Policy)
-		}
-
-		ipCfg := ip.Config{
-			Name:        spec.Name,
-			Profile:     spec.Profile,
-			Sequence:    spec.Sequence,
-			Arrivals:    spec.Arrivals,
-			Manager:     mgr,
-			PSM:         psms[i],
-			Meter:       meters[i],
-			Ledger:      ledger,
-			Bus:         theBus,
-			BusWords:    cfg.BusWords,
-			BusPriority: spec.StaticPriority,
-		}
-		if disp != nil {
-			ipCfg.OnTask = disp.taskDone
-		}
-		ips[i] = ip.New(k, ipCfg)
-	}
-
-	// Instrumentation: hook the dispatcher onto the assembled components
-	// and announce the run. The sampler is registered here — before the
-	// completion watcher and the accountant — so its tick runs first at
-	// every sample instant, exactly where the old CSV sampler sat.
-	if disp != nil {
-		disp.attach(psms, pack, plant)
-		initialStates := make([]acpi.State, len(psms))
-		for i := range psms {
-			initialStates[i] = psms[i].StateSignal().Read()
-		}
-		disp.runStart(&RunInfo{
-			Config:         &cfg,
-			IPs:            ipNames,
-			InitialStates:  initialStates,
-			InitialBattery: pack.Status(),
-			InitialThermal: plant.classSignal().Read(),
-			BatterySignal:  pack.StatusSignal().Name(),
-			ThermalSignal:  plant.classSignal().Name(),
-		})
-		// Fail fast on setup errors (e.g. a trace header that cannot be
-		// written) instead of simulating to completion for nothing.
-		if err := disp.err(); err != nil {
-			return nil, fmt.Errorf("soc: observer: %w", err)
-		}
-		disp.startSampler(k, cfg.SampleInterval)
-	}
-
-	// Completion watcher: stop the kernel when every IP finished.
-	doneEvents := make([]*sim.Event, len(ips))
-	for i, b := range ips {
-		doneEvents[i] = b.Done()
-	}
-	k.Method("completion", func() {
-		for _, b := range ips {
-			if !b.Finished() {
-				return
-			}
-		}
-		k.Stop()
-	}).Sensitive(doneEvents...).DontInitialize()
-
-	// Power accountant: every SampleInterval, feed the battery and the
-	// thermal node with the average power since the last sample and stream
-	// the temperature statistics (see accountant.go — O(1) memory, zero
-	// allocations per tick).
-	if g != nil && cfg.GEM.BusOccupancyLimit > 0 && theBus != nil {
-		g.SetBusProbe(theBus.Occupancy)
-	}
-	acct := newAccountant(k, &cfg, pack, plant, meters, &busEnergyMeter, g)
-	acct.stops = opts.StopWhen
-	if ctx != nil {
-		acct.done = ctx.Done()
-	}
-	acct.start()
-
-	wallStart := time.Now()
-	acct.probe.wallStart = wallStart
-	if err := k.Run(cfg.Horizon); err != nil {
+	if err := s.k.Run(cfg.Horizon); err != nil {
 		return nil, err
 	}
-	wall := time.Since(wallStart).Seconds()
-	if acct.canceled {
+	wall := time.Since(s.wallStart).Seconds()
+	if s.acct.canceled {
 		return nil, ctx.Err()
 	}
 
 	// Final partial sample so energy/temperature cover the full duration.
+	// Solo runs end here, so sampling on the live state is fine; forked
+	// runs (RunForked) instead snapshot the same arithmetic onto copies at
+	// every cut point, because the session keeps running past each cut.
+	acct, k := s.acct, s.k
 	acct.sample()
 
 	res := &Result{
-		EnergyByIP: make(map[string]float64, len(meters)),
-		Ledger:     ledger,
+		EnergyByIP: make(map[string]float64, len(s.meters)),
+		Ledger:     s.ledger,
 		Duration:   k.Now(),
-		AmbientC:   plant.ambient,
-		BusEnergyJ: busEnergyMeter,
+		AmbientC:   s.plant.ambient,
+		BusEnergyJ: s.busEnergyJ,
 		StopReason: acct.stopReason,
 	}
-	for i, m := range meters {
+	for i, m := range s.meters {
 		e := m.EnergyJ()
 		res.EnergyByIP[cfg.IPs[i].Name] = e
 		res.EnergyJ += e
 	}
-	res.EnergyJ += busEnergyMeter
+	res.EnergyJ += s.busEnergyJ
 	res.AvgTempC = acct.temp.MeanUntil(k.Now())
 	res.PeakTempC = acct.temp.Max()
 	res.Completed = true
-	for _, b := range ips {
+	for _, b := range s.ips {
 		res.TasksDone += b.TasksDone()
 		if !b.Finished() {
 			res.Completed = false
@@ -624,22 +490,22 @@ func RunWith(ctx context.Context, cfg Config, opts RunOptions) (*Result, error) 
 	res.Cycles = res.Duration.Seconds() * cfg.BaseClockHz
 	res.WallSeconds = wall
 	res.Deltas = k.DeltaCount()
-	res.FinalSoC = pack.SoC()
-	res.FinalBatteryStatus = pack.Status()
-	res.LEMStats = make(map[string]lem.Stats, len(lems))
-	for name, l := range lems {
+	res.FinalSoC = s.pack.SoC()
+	res.FinalBatteryStatus = s.pack.Status()
+	res.LEMStats = make(map[string]lem.Stats, len(s.lems))
+	for name, l := range s.lems {
 		res.LEMStats[name] = l.Stats()
 	}
-	if g != nil {
-		res.GEMEvaluations = g.Evaluations()
-		res.FanSwitches = g.FanSwitches()
+	if s.g != nil {
+		res.GEMEvaluations = s.g.Evaluations()
+		res.FanSwitches = s.g.FanSwitches()
 	}
-	if theBus != nil {
-		res.BusOccupancy = theBus.Occupancy()
+	if s.theBus != nil {
+		res.BusOccupancy = s.theBus.Occupancy()
 	}
-	if disp != nil {
-		disp.runEnd(res)
-		if err := disp.err(); err != nil {
+	if s.disp != nil {
+		s.disp.runEnd(res)
+		if err := s.disp.err(); err != nil {
 			return nil, fmt.Errorf("soc: observer: %w", err)
 		}
 	}

@@ -63,6 +63,16 @@ func (tp *thermalPlant) step(total float64, perIP []float64, dt sim.Time) {
 	tp.network.Step(perIP, dt)
 }
 
+// peekStepTempC returns the temperature step(total, perIP, dt) would
+// leave tempC() reporting, without mutating the plant — the snapshot
+// path's non-perturbing final partial integration.
+func (tp *thermalPlant) peekStepTempC(total float64, perIP []float64, dt sim.Time) float64 {
+	if tp.single != nil {
+		return tp.single.PeekStepTempC(total, dt)
+	}
+	return tp.network.PeekStepHottest(perIP, dt)
+}
+
 // tempC returns the reported die temperature (hottest node for networks).
 func (tp *thermalPlant) tempC() float64 {
 	if tp.single != nil {

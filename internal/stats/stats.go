@@ -67,6 +67,20 @@ func (m *EnergyMeter) EnergyJ() float64 {
 	return m.energy
 }
 
+// PeekEnergyJ returns the energy accumulated up to the current simulation
+// time without settling the meter. The value is bit-identical to EnergyJ
+// (settle computes `energy += power·dt` then returns energy; Peek returns
+// `energy + power·dt`), but the meter's accumulation points are left
+// untouched — snapshotting a live run through Peek does not perturb how
+// later settles split the integral, which a mutating read would.
+func (m *EnergyMeter) PeekEnergyJ() float64 {
+	now := m.k.Now()
+	if now > m.lastAt {
+		return m.energy + m.power*(now-m.lastAt).Seconds()
+	}
+	return m.energy
+}
+
 // Series is a time-weighted scalar series (e.g. die temperature): each Add
 // declares the value holding from that time until the next Add. Statistics
 // treat the value as piecewise constant.
@@ -212,6 +226,24 @@ func (w *TimeWeighted) Min() float64 {
 	return w.min
 }
 
+// Advance integrates the held value over an arbitrary gap: the area
+// lastV·(t − lastAt) is folded into the accumulator and the hold point
+// moves to t, without recording a new sample. Statistics after
+// Advance(t) are bit-identical to not having advanced at all (MeanUntil
+// extends the hold with exactly the same term) — Advance exists so gap
+// integrators can fold provably-constant stretches into the accumulator
+// eagerly and so snapshots can close their copy's integral at a cut
+// point. Note that Advance(t) is NOT equivalent to re-Adding the held
+// value at intermediate points: splitting an interval changes the
+// floating-point summation. It is a no-op with no samples or t <= lastAt.
+func (w *TimeWeighted) Advance(t sim.Time) {
+	if w.n == 0 || t <= w.lastAt {
+		return
+	}
+	w.area += w.lastV * (t - w.lastAt).Seconds()
+	w.lastAt = t
+}
+
 // MeanUntil returns the time-weighted mean over [first sample, end],
 // extending the last value to end; with no samples it returns 0. Unlike
 // Series, the accumulator keeps only O(1) state, so MeanUntil may be called
@@ -264,6 +296,13 @@ func (l *Ledger) Records() []TaskRecord { return l.records }
 
 // Len returns the number of records.
 func (l *Ledger) Len() int { return len(l.records) }
+
+// Clone returns an independent copy of the ledger. Snapshots of a live run
+// clone it so records appended after the cut point do not leak into the
+// snapshot's view.
+func (l *Ledger) Clone() *Ledger {
+	return &Ledger{records: append([]TaskRecord(nil), l.records...)}
+}
 
 // key identifies a task across two runs of the same workload.
 type key struct {

@@ -92,11 +92,43 @@ func AlphaStudy(seed int64, numTasks int) Sweep {
 	}
 }
 
+// HorizonStudy sweeps the simulation horizon (seconds) under an open-loop
+// MMPP arrival stream: energy and temperature as functions of how long the
+// SoC runs. Every point shares the full configuration except Horizon, so
+// the batch engine collapses the study into one forked session (sweep
+// warm-start) — the shared trajectory prefix simulates once and each point
+// is snapshotted at its own cut, bit-identical to solo runs.
+func HorizonStudy(seed int64, numTasks int) Sweep {
+	gen := workload.DefaultMMPP(workload.NewSeed(uint64(seed)), numTasks)
+	arr := gen.MustGenerate()
+	build := func(v float64, policy soc.PolicyKind) soc.Config {
+		cfg := soc.Config{
+			IPs:     []soc.IPSpec{{Name: "ip0", Arrivals: arr}},
+			Battery: soc.DefaultBattery(0.95),
+			Policy:  policy,
+			Horizon: sim.Time(v * float64(sim.Sec)),
+		}
+		return cfg
+	}
+	return Sweep{
+		Name:   "horizon",
+		Param:  "horizon_s",
+		Values: []float64{0.5, 1, 2, 5, 10, 20, 60},
+		Build: func(v float64) soc.Config {
+			return build(v, soc.PolicyDPM)
+		},
+		BuildBaseline: func(v float64) soc.Config {
+			return build(v, soc.PolicyAlwaysOn)
+		},
+	}
+}
+
 // Studies returns every built-in study by name.
 func Studies(seed int64, numTasks int) map[string]Sweep {
 	return map[string]Sweep{
 		"timeout":  TimeoutStudy(seed, numTasks),
 		"activity": ActivityStudy(seed, numTasks),
 		"alpha":    AlphaStudy(seed, numTasks),
+		"horizon":  HorizonStudy(seed, numTasks),
 	}
 }

@@ -1,8 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"godpm/internal/engine"
 
 	"godpm/internal/soc"
 	"godpm/internal/workload"
@@ -118,5 +121,38 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if strings.Contains(sb2.String(), "saving") {
 		t.Error("baseline columns present without baselines")
+	}
+}
+
+// TestHorizonStudyWarmStarts pins the horizon study to the engine's fork
+// groups: all points of one policy share a forked session (Forked > 0)
+// and the points are identical to a cold solo-run engine's.
+func TestHorizonStudyWarmStarts(t *testing.T) {
+	s := HorizonStudy(1, 40)
+	s.Values = []float64{0.05, 0.1, 0.5} // keep the test quick
+
+	eng := engine.New(engine.Options{})
+	warm, err := s.RunWith(context.Background(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Forked == 0 {
+		t.Fatalf("horizon study did not fork: %+v", st)
+	}
+	// One shared session per policy (DPM points + baseline points).
+	if st.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2 shared sessions", st.Runs)
+	}
+
+	cold, err := s.RunWith(context.Background(), engine.New(engine.Options{NoCache: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		if warm[i].EnergyJ != cold[i].EnergyJ || warm[i].AvgTempC != cold[i].AvgTempC ||
+			warm[i].DurationS != cold[i].DurationS {
+			t.Errorf("point %d: warm %+v != cold %+v", i, warm[i], cold[i])
+		}
 	}
 }

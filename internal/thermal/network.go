@@ -90,12 +90,11 @@ func NewNetwork(k *sim.Kernel, name string, p NetworkParams, names []string, ini
 	return n
 }
 
-// Step integrates the network for dt with the given per-node powers (one
-// entry per node, watts).
-func (n *Network) Step(powers []float64, dt sim.Time) {
-	if len(powers) != len(n.nodes) {
-		panic(fmt.Sprintf("thermal: Step with %d powers for %d nodes", len(powers), len(n.nodes)))
-	}
+// integrate runs the sub-stepped Euler solution over dt, mutating the
+// given node/spreader state in place. Step passes the live state;
+// PeekStepHottest passes copies — sharing the core keeps the two paths
+// bit-identical.
+func (n *Network) integrate(nodes []float64, spreader *float64, powers []float64, dt sim.Time) {
 	rsa := n.p.SpreaderRthKperW
 	if n.fanOn {
 		rsa *= n.p.FanFactor
@@ -111,24 +110,54 @@ func (n *Network) Step(powers []float64, dt sim.Time) {
 			h = maxStep
 		}
 		var intoSpreader float64
-		for i := range n.nodes {
+		for i := range nodes {
 			p := powers[i]
 			if p < 0 {
 				p = 0
 			}
-			flow := (n.nodes[i] - n.spreader) / n.p.NodeRthKperW
-			n.nodes[i] += (p - flow) / n.p.NodeCthJperK * h
+			flow := (nodes[i] - *spreader) / n.p.NodeRthKperW
+			nodes[i] += (p - flow) / n.p.NodeCthJperK * h
 			intoSpreader += flow
 		}
-		out := (n.spreader - n.p.AmbientC) / rsa
-		n.spreader += (intoSpreader - out) / n.p.SpreaderCthJperK * h
+		out := (*spreader - n.p.AmbientC) / rsa
+		*spreader += (intoSpreader - out) / n.p.SpreaderCthJperK * h
 		remaining -= h
 	}
+}
+
+// Step integrates the network for dt with the given per-node powers (one
+// entry per node, watts).
+func (n *Network) Step(powers []float64, dt sim.Time) {
+	if len(powers) != len(n.nodes) {
+		panic(fmt.Sprintf("thermal: Step with %d powers for %d nodes", len(powers), len(n.nodes)))
+	}
+	n.integrate(n.nodes, &n.spreader, powers, dt)
 	_, hot := n.Hottest()
 	n.hottest.Write(hot)
 	if n.onStep != nil {
 		n.onStep()
 	}
+}
+
+// PeekStepHottest returns the hottest node temperature Step(powers, dt)
+// would reach, without mutating the network, its sensors or signals: the
+// identical sub-stepped arithmetic on copies. Run snapshots close the
+// final partial interval through it. It allocates (one copy of the node
+// state) and so belongs on snapshot paths, not the per-tick one.
+func (n *Network) PeekStepHottest(powers []float64, dt sim.Time) float64 {
+	if len(powers) != len(n.nodes) {
+		panic(fmt.Sprintf("thermal: PeekStepHottest with %d powers for %d nodes", len(powers), len(n.nodes)))
+	}
+	nodes := append([]float64(nil), n.nodes...)
+	spreader := n.spreader
+	n.integrate(nodes, &spreader, powers, dt)
+	hot := nodes[0]
+	for _, t := range nodes {
+		if t > hot {
+			hot = t
+		}
+	}
+	return hot
 }
 
 // NodeTempC returns a node's temperature by index.

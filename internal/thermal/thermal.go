@@ -106,6 +106,13 @@ type Node struct {
 	tempC float64
 	fanOn bool
 	class *sim.Signal[Class]
+
+	// Per-fan-state integration constants, precomputed so the accountant's
+	// per-sample Step costs no divisions for them. The values are the
+	// exact same expressions Step historically evaluated per call, so
+	// results are bit-identical.
+	tau, tauFan         float64 // Rth·Cth and Rth·FanFactor·Cth
+	maxStep, maxStepFan float64 // tau/10 Euler stability bounds
 }
 
 // NewNode creates a thermal node at the given initial temperature.
@@ -115,33 +122,53 @@ func NewNode(k *sim.Kernel, name string, p Params, initialC float64) *Node {
 	}
 	th := SensorThresholds{MediumAboveC: p.MediumAboveC, HighAboveC: p.HighAboveC, HysteresisC: p.HysteresisC}
 	n := &Node{p: p, th: th, tempC: initialC}
+	n.tau = p.RthKperW * p.CthJperK
+	n.tauFan = p.RthKperW * p.FanFactor * p.CthJperK
+	n.maxStep = n.tau / 10
+	n.maxStepFan = n.tauFan / 10
 	n.class = sim.NewSignal(k, name+".class", th.classify(initialC, LowTemp))
 	return n
 }
 
-// Step integrates dT/dt = P/Cth − (T − Tamb)/(Rth·Cth) over dt with the
-// given dissipated power, then refreshes the sensor class.
-func (n *Node) Step(power float64, dt sim.Time) {
+// integrate runs the explicit-Euler sub-stepped solution of
+// dT/dt = P/Cth − (T − Tamb)/tau from `from` over dt and returns the end
+// temperature. Shared by Step and PeekStepTempC so the mutating and
+// non-mutating paths cannot drift apart.
+func (n *Node) integrate(from, power float64, dt sim.Time) float64 {
 	if power < 0 {
 		power = 0
 	}
-	rth := n.p.RthKperW
+	tau, maxStep := n.tau, n.maxStep
 	if n.fanOn {
-		rth *= n.p.FanFactor
+		tau, maxStep = n.tauFan, n.maxStepFan
 	}
-	tau := rth * n.p.CthJperK
 	remaining := dt.Seconds()
-	maxStep := tau / 10
+	t := from
 	for remaining > 1e-15 {
 		h := remaining
 		if h > maxStep {
 			h = maxStep
 		}
-		dT := (power/n.p.CthJperK - (n.tempC-n.p.AmbientC)/tau) * h
-		n.tempC += dT
+		dT := (power/n.p.CthJperK - (t-n.p.AmbientC)/tau) * h
+		t += dT
 		remaining -= h
 	}
+	return t
+}
+
+// Step integrates dT/dt = P/Cth − (T − Tamb)/(Rth·Cth) over dt with the
+// given dissipated power, then refreshes the sensor class.
+func (n *Node) Step(power float64, dt sim.Time) {
+	n.tempC = n.integrate(n.tempC, power, dt)
 	n.class.Write(n.th.classify(n.tempC, n.class.Read()))
+}
+
+// PeekStepTempC returns the temperature Step(power, dt) would reach,
+// without mutating the node or its sensor signal — the identical
+// sub-stepped arithmetic on a local copy. Run snapshots close the final
+// partial interval through it.
+func (n *Node) PeekStepTempC(power float64, dt sim.Time) float64 {
+	return n.integrate(n.tempC, power, dt)
 }
 
 // TempC returns the current die temperature.
